@@ -1,0 +1,121 @@
+//! Criterion benchmarks — one group per experiment of the paper
+//! (see DESIGN.md §3 and EXPERIMENTS.md).
+//!
+//! The groups measure the cost of the transformations and of full synthesis
+//! across the same parameter sweeps the `reproduce` binary reports, so the
+//! performance of the reproduction itself can be tracked alongside the
+//! quality-of-results numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spark_bench::{
+    figure2_loop, figure4_fragment, synthesize_ild_baseline, synthesize_ild_natural,
+    synthesize_ild_spark,
+};
+use spark_ild::{buffer_env, build_ild_program, random_buffer, ILD_FUNCTION};
+use spark_ir::Interpreter;
+use spark_sched::{schedule, Constraints, DependenceGraph, ResourceLibrary};
+use spark_transforms as xf;
+
+/// E1 — Figures 2–3: unroll + constant-propagate the synthetic loop.
+fn bench_fig2_unroll(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_unroll_const_prop");
+    for n in [8u64, 16, 32, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut f = figure2_loop(n);
+                xf::unroll_all_loops(&mut f);
+                xf::constant_propagation(&mut f);
+                xf::dead_code_elimination(&mut f);
+                f.live_op_count()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// E2–E4 — Figures 4–7: chaining-aware scheduling of the conditional fragment.
+fn bench_fig4_chaining(c: &mut Criterion) {
+    let f = figure4_fragment();
+    let graph = DependenceGraph::build(&f).expect("loop free");
+    let lib = ResourceLibrary::new();
+    let mut group = c.benchmark_group("fig4_chaining");
+    group.bench_function("cross_conditional", |b| {
+        b.iter(|| schedule(&f, &graph, &lib, &Constraints::microprocessor_block(10.0)).unwrap().num_states)
+    });
+    group.bench_function("no_chaining", |b| {
+        b.iter(|| {
+            schedule(&f, &graph, &lib, &Constraints::microprocessor_block(10.0).without_chaining())
+                .unwrap()
+                .num_states
+        })
+    });
+    group.finish();
+}
+
+/// E5–E8 — Figures 10–15: full coordinated synthesis of the ILD.
+fn bench_ild_spark_flow(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ild_coordinated_flow");
+    group.sample_size(10);
+    for n in [4u32, 8, 16, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| synthesize_ild_spark(n).report.states)
+        });
+    }
+    group.finish();
+}
+
+/// E9 — Figure 1: the classical ASIC baseline flow.
+fn bench_ild_baseline_flow(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ild_baseline_flow");
+    group.sample_size(10);
+    for n in [4u32, 8, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| synthesize_ild_baseline(n).report.states)
+        });
+    }
+    group.finish();
+}
+
+/// E10 — Figure 16: the natural description through the source-level rewrite.
+fn bench_ild_natural_flow(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ild_natural_flow");
+    group.sample_size(10);
+    for n in [4u32, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| synthesize_ild_natural(n).report.states)
+        });
+    }
+    group.finish();
+}
+
+/// Throughput of the three verification levels on one buffer: golden model,
+/// behavioral interpretation, RTL simulation of the synthesized design.
+fn bench_verification_levels(c: &mut Criterion) {
+    let n = 16usize;
+    let program = build_ild_program(n as u32);
+    let result = synthesize_ild_spark(n as u32);
+    let buffer = random_buffer(n, 1);
+    let env = buffer_env(&buffer);
+    let mut group = c.benchmark_group("verification_levels");
+    group.bench_function("golden_model", |b| {
+        b.iter(|| spark_ild::decode_marks(&buffer, n))
+    });
+    group.bench_function("behavioral_interpreter", |b| {
+        b.iter(|| Interpreter::new(&program).run(ILD_FUNCTION, &env).unwrap())
+    });
+    group.bench_function("rtl_simulation", |b| {
+        b.iter(|| result.simulate(&env).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    experiments,
+    bench_fig2_unroll,
+    bench_fig4_chaining,
+    bench_ild_spark_flow,
+    bench_ild_baseline_flow,
+    bench_ild_natural_flow,
+    bench_verification_levels
+);
+criterion_main!(experiments);

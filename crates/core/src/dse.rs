@@ -1,0 +1,151 @@
+//! Design-space exploration helpers.
+//!
+//! Spark's tunable transformations "enable the system to aid in exploration
+//! of several alternative designs" (Section 4). These helpers sweep the knobs
+//! a block designer would turn — clock period, flow mode, individual
+//! transformations — and collect the resulting datapath reports; the
+//! benchmark harness and the `design_space` example print them as tables.
+
+use spark_ir::Program;
+use spark_rtl::DatapathReport;
+
+use crate::pipeline::{synthesize, FlowOptions, SynthesisError};
+
+/// One point of a design-space sweep.
+#[derive(Clone, Debug)]
+pub struct DesignPoint {
+    /// Human-readable label of the configuration.
+    pub label: String,
+    /// Clock period used.
+    pub clock_period_ns: f64,
+    /// The resulting datapath report (`None` if synthesis failed, e.g. an
+    /// infeasible clock period).
+    pub report: Option<DatapathReport>,
+}
+
+/// Sweeps the clock period with the microprocessor-block flow.
+pub fn sweep_clock_period(
+    program: &Program,
+    top: &str,
+    periods_ns: &[f64],
+) -> Result<Vec<DesignPoint>, SynthesisError> {
+    let mut points = Vec::new();
+    for &period in periods_ns {
+        let options = FlowOptions::microprocessor_block(period);
+        let report = match synthesize(program, top, &options) {
+            Ok(result) => Some(result.report),
+            Err(SynthesisError::UnknownFunction(name)) => {
+                return Err(SynthesisError::UnknownFunction(name))
+            }
+            Err(SynthesisError::Scheduling(_)) => None,
+        };
+        points.push(DesignPoint {
+            label: format!("clock {period:.1} ns"),
+            clock_period_ns: period,
+            report,
+        });
+    }
+    Ok(points)
+}
+
+/// The ablation study called out in `DESIGN.md`: the coordinated flow with
+/// each transformation switched off individually, plus the classical
+/// baseline. Returns `(label, report)` per configuration.
+pub fn ablation_study(
+    program: &Program,
+    top: &str,
+    clock_period_ns: f64,
+) -> Result<Vec<DesignPoint>, SynthesisError> {
+    let full = FlowOptions::microprocessor_block(clock_period_ns);
+    let mut configurations: Vec<(String, FlowOptions)> = vec![("coordinated (all on)".into(), full.clone())];
+
+    let mut no_speculation = full.clone();
+    no_speculation.speculate = false;
+    configurations.push(("no speculation".into(), no_speculation));
+
+    let mut no_unroll = full.clone();
+    no_unroll.unroll = false;
+    configurations.push(("no loop unrolling".into(), no_unroll));
+
+    let mut no_const_prop = full.clone();
+    no_const_prop.constant_propagation = false;
+    configurations.push(("no constant propagation".into(), no_const_prop));
+
+    let mut no_cse = full.clone();
+    no_cse.cse = false;
+    configurations.push(("no CSE".into(), no_cse));
+
+    configurations.push(("ASIC baseline".into(), FlowOptions::asic_baseline(clock_period_ns)));
+
+    let mut points = Vec::new();
+    for (label, options) in configurations {
+        let report = match synthesize(program, top, &options) {
+            Ok(result) => Some(result.report),
+            Err(SynthesisError::UnknownFunction(name)) => {
+                return Err(SynthesisError::UnknownFunction(name))
+            }
+            Err(SynthesisError::Scheduling(_)) => None,
+        };
+        points.push(DesignPoint { label, clock_period_ns, report });
+    }
+    Ok(points)
+}
+
+/// Formats design points as an aligned text table.
+pub fn format_table(points: &[DesignPoint]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<28} {:>8} {:>8} {:>12} {:>8} {:>10}\n",
+        "configuration", "states", "FUs", "crit.path ns", "regs", "area"
+    ));
+    for point in points {
+        match &point.report {
+            Some(report) => out.push_str(&format!(
+                "{:<28} {:>8} {:>8} {:>12.2} {:>8} {:>10.0}\n",
+                point.label,
+                report.states,
+                report.total_functional_units(),
+                report.critical_path_ns,
+                report.registers,
+                report.area_estimate
+            )),
+            None => out.push_str(&format!("{:<28} {:>8}\n", point.label, "infeasible")),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spark_ild::{build_ild_program, ILD_FUNCTION};
+
+    #[test]
+    fn clock_sweep_marks_infeasible_points() {
+        let program = build_ild_program(4);
+        let points = sweep_clock_period(&program, ILD_FUNCTION, &[0.1, 50.0, 200.0]).unwrap();
+        assert_eq!(points.len(), 3);
+        assert!(points[0].report.is_none(), "0.1 ns is infeasible");
+        assert!(points[2].report.is_some());
+        let table = format_table(&points);
+        assert!(table.contains("infeasible"));
+        assert!(table.contains("clock 200.0 ns"));
+    }
+
+    #[test]
+    fn ablation_study_covers_all_knobs() {
+        let program = build_ild_program(4);
+        let points = ablation_study(&program, ILD_FUNCTION, 200.0).unwrap();
+        assert_eq!(points.len(), 6);
+        let coordinated = points[0].report.as_ref().unwrap();
+        let baseline = points.last().unwrap().report.as_ref().unwrap();
+        assert!(coordinated.states <= baseline.states);
+    }
+
+    #[test]
+    fn unknown_function_propagates() {
+        let program = build_ild_program(4);
+        assert!(sweep_clock_period(&program, "ghost", &[10.0]).is_err());
+        assert!(ablation_study(&program, "ghost", 10.0).is_err());
+    }
+}

@@ -1,0 +1,357 @@
+//! The coordinated synthesis pipeline — the paper's primary contribution.
+//!
+//! "A judicious balance of a number of these techniques driven by well
+//! considered heuristics is likely to yield HLS results that compare in
+//! quality to the manually designed functional blocks" (Section 1). The
+//! [`synthesize`] function coordinates the whole tool-box in the order the
+//! paper walks through for the ILD (Section 6): source-level rewriting,
+//! inlining, speculation, full loop unrolling, constant and copy propagation,
+//! CSE, dead-code elimination, chaining-aware scheduling, wire-variable
+//! insertion, binding and RTL generation — recording the effect of every
+//! stage so the figure-by-figure evolution of the design can be reproduced.
+
+use spark_bind::{Binding, LifetimeAnalysis};
+use spark_ir::{Env, Function, FunctionStats, Program};
+use spark_rtl::{DatapathReport, RtlOutcome, RtlSimError, RtlSimulator, VhdlEmitter};
+use spark_sched::{
+    insert_wire_variables, schedule, validate_chaining, ChainingReport, Constraints, Controller,
+    DependenceGraph, ResourceLibrary, SchedError, Schedule, WireReport,
+};
+use spark_transforms as xf;
+
+/// Which of the two synthesis scenarios of Figure 1 the flow targets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlowMode {
+    /// High-performance microprocessor block: unlimited resources, full
+    /// chaining across conditional boundaries, aggressive transformations.
+    MicroprocessorBlock,
+    /// Classical ASIC-style HLS baseline: constrained resources, chaining
+    /// only within basic blocks, no speculative code motions, no unrolling.
+    AsicBaseline,
+}
+
+/// Options controlling the coordinated flow.
+#[derive(Clone, Debug)]
+pub struct FlowOptions {
+    /// Target clock period in nanoseconds.
+    pub clock_period_ns: f64,
+    /// Overall scenario.
+    pub mode: FlowMode,
+    /// Rewrite natural `while(1)` cursor loops into bounded `for` loops
+    /// (Figure 16 → Figure 10).
+    pub while_to_for: bool,
+    /// Inline calls (Figure 12).
+    pub inline: bool,
+    /// Speculate pure operations out of conditionals (Figure 11).
+    pub speculate: bool,
+    /// Fully unroll loops (Figure 13).
+    pub unroll: bool,
+    /// Run constant propagation (Figure 14).
+    pub constant_propagation: bool,
+    /// Run common-subexpression elimination on the flattened code.
+    pub cse: bool,
+    /// Run the complementary code motions (reverse speculation and early
+    /// condition execution) before scheduling.
+    pub secondary_code_motions: bool,
+}
+
+impl FlowOptions {
+    /// The coordinated microprocessor-block recipe of the paper.
+    pub fn microprocessor_block(clock_period_ns: f64) -> Self {
+        FlowOptions {
+            clock_period_ns,
+            mode: FlowMode::MicroprocessorBlock,
+            while_to_for: true,
+            inline: true,
+            speculate: true,
+            unroll: true,
+            constant_propagation: true,
+            cse: true,
+            secondary_code_motions: false,
+        }
+    }
+
+    /// The classical baseline: inlining only (classical HLS also flattens
+    /// calls), no speculation, no unrolling, constrained resources.
+    pub fn asic_baseline(clock_period_ns: f64) -> Self {
+        FlowOptions {
+            clock_period_ns,
+            mode: FlowMode::AsicBaseline,
+            while_to_for: true,
+            inline: true,
+            speculate: false,
+            unroll: true,
+            constant_propagation: true,
+            cse: false,
+            secondary_code_motions: false,
+        }
+    }
+
+    fn constraints(&self) -> Constraints {
+        match self.mode {
+            FlowMode::MicroprocessorBlock => Constraints::microprocessor_block(self.clock_period_ns),
+            FlowMode::AsicBaseline => Constraints::asic_baseline(self.clock_period_ns),
+        }
+    }
+}
+
+/// Why synthesis failed.
+#[derive(Debug)]
+pub enum SynthesisError {
+    /// The requested top-level function does not exist in the program.
+    UnknownFunction(String),
+    /// Scheduling failed.
+    Scheduling(SchedError),
+}
+
+impl std::fmt::Display for SynthesisError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SynthesisError::UnknownFunction(name) => write!(f, "unknown function `{name}`"),
+            SynthesisError::Scheduling(e) => write!(f, "scheduling failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SynthesisError {}
+
+impl From<SchedError> for SynthesisError {
+    fn from(e: SchedError) -> Self {
+        SynthesisError::Scheduling(e)
+    }
+}
+
+/// Statistics captured after one named stage of the flow — the data behind
+/// the paper's figure-by-figure walk-through.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StageSnapshot {
+    /// Stage name (e.g. `"speculation"`).
+    pub stage: String,
+    /// Structural statistics after the stage.
+    pub stats: FunctionStats,
+}
+
+/// The complete result of synthesizing one block.
+#[derive(Clone, Debug)]
+pub struct SynthesisResult {
+    /// The transformed, scheduled top-level function.
+    pub function: Function,
+    /// Dependence graph of the final function (guards included).
+    pub graph: DependenceGraph,
+    /// The schedule.
+    pub schedule: Schedule,
+    /// The FSM controller.
+    pub controller: Controller,
+    /// Register / functional-unit binding.
+    pub binding: Binding,
+    /// Structural and area/critical-path summary.
+    pub report: DatapathReport,
+    /// Per-pass change log.
+    pub pass_log: Vec<xf::Report>,
+    /// Per-stage structural snapshots (Figures 10–15 evolution).
+    pub stages: Vec<StageSnapshot>,
+    /// Wire-variable insertion summary (Section 3.1.2).
+    pub wire_report: WireReport,
+    /// Chaining-trail validation summary (Section 3.1.1).
+    pub chaining: ChainingReport,
+}
+
+impl SynthesisResult {
+    /// Emits the register-transfer-level VHDL of the design.
+    pub fn vhdl(&self) -> String {
+        VhdlEmitter::new(&self.function, &self.graph, &self.schedule, &self.controller).emit()
+    }
+
+    /// Simulates the generated design (RTL semantics) on one input set.
+    ///
+    /// # Errors
+    /// Returns [`RtlSimError`] if the datapath hits an out-of-bounds access.
+    pub fn simulate(&self, env: &Env) -> Result<RtlOutcome, RtlSimError> {
+        RtlSimulator::new(&self.function, &self.graph, &self.schedule).run(env)
+    }
+
+    /// True when the design fits a single cycle — the architecture the
+    /// paper's methodology targets (Figure 15).
+    pub fn is_single_cycle(&self) -> bool {
+        self.controller.is_single_cycle()
+    }
+}
+
+/// Runs the coordinated flow on `program`, synthesizing the function `top`.
+///
+/// # Errors
+/// Returns [`SynthesisError`] when the top function is missing or scheduling
+/// fails under the given constraints.
+pub fn synthesize(
+    program: &Program,
+    top: &str,
+    options: &FlowOptions,
+) -> Result<SynthesisResult, SynthesisError> {
+    let library = ResourceLibrary::new();
+    let mut working = program.clone();
+    if working.function(top).is_none() {
+        return Err(SynthesisError::UnknownFunction(top.to_string()));
+    }
+    let mut pass_log = Vec::new();
+    let mut stages = Vec::new();
+    let snapshot = |name: &str, program: &Program, stages: &mut Vec<StageSnapshot>| {
+        if let Some(f) = program.function(top) {
+            stages.push(StageSnapshot { stage: name.to_string(), stats: FunctionStats::of(f) });
+        }
+    };
+    snapshot("input", &working, &mut stages);
+
+    // ---- Source-level and coarse-grain transformations -------------------
+    if options.while_to_for {
+        let f = working.function_mut(top).expect("top exists");
+        pass_log.push(xf::while_to_for(f));
+        snapshot("while-to-for", &working, &mut stages);
+    }
+    if options.inline {
+        pass_log.push(xf::inline_calls(&mut working, top));
+        snapshot("inline", &working, &mut stages);
+    }
+    if options.speculate {
+        let f = working.function_mut(top).expect("top exists");
+        pass_log.push(xf::speculate(f));
+        snapshot("speculation", &working, &mut stages);
+    }
+    if options.unroll {
+        let f = working.function_mut(top).expect("top exists");
+        pass_log.push(xf::unroll_all_loops(f));
+        snapshot("loop-unroll", &working, &mut stages);
+    }
+    // Speculation opportunities often only appear after unrolling exposes the
+    // per-byte conditionals; run it again in the aggressive flow.
+    if options.speculate {
+        let f = working.function_mut(top).expect("top exists");
+        pass_log.push(xf::speculate(f));
+    }
+
+    // ---- Fine-grain clean-up ---------------------------------------------
+    {
+        let f = working.function_mut(top).expect("top exists");
+        if options.constant_propagation {
+            pass_log.push(xf::constant_propagation(f));
+            snapshot("constant-propagation", &working, &mut stages);
+        }
+        let f = working.function_mut(top).expect("top exists");
+        pass_log.push(xf::copy_propagation(f));
+        if options.cse {
+            let f = working.function_mut(top).expect("top exists");
+            pass_log.push(xf::common_subexpression_elimination(f));
+        }
+        let f = working.function_mut(top).expect("top exists");
+        pass_log.push(xf::dead_code_elimination(f));
+        // A second round of constant propagation picks up constants exposed
+        // by copy propagation; DCE then removes the dead copies.
+        let f = working.function_mut(top).expect("top exists");
+        if options.constant_propagation {
+            pass_log.push(xf::constant_propagation(f));
+        }
+        let f = working.function_mut(top).expect("top exists");
+        pass_log.push(xf::copy_propagation(f));
+        let f = working.function_mut(top).expect("top exists");
+        pass_log.push(xf::dead_code_elimination(f));
+        snapshot("cleanup", &working, &mut stages);
+    }
+    if options.secondary_code_motions {
+        let f = working.function_mut(top).expect("top exists");
+        pass_log.push(xf::early_condition_execution(f));
+        let f = working.function_mut(top).expect("top exists");
+        pass_log.push(xf::reverse_speculation(f));
+        snapshot("secondary-code-motions", &working, &mut stages);
+    }
+
+    // ---- Scheduling, chaining, binding, RTL --------------------------------
+    let mut function = working.function(top).expect("top exists").clone();
+    let graph = DependenceGraph::build(&function)?;
+    let constraints = options.constraints();
+    let mut sched = schedule(&function, &graph, &library, &constraints)?;
+    let wire_report = insert_wire_variables(&mut function, &mut sched);
+    // Wire insertion adds blocks/ops: rebuild the dependence graph so guards
+    // and the controller see the final structure.
+    let graph = DependenceGraph::build(&function)?;
+    let chaining = validate_chaining(&function, &graph, &sched, &library)?;
+    let controller = Controller::build(&function, &graph, &sched);
+    let lifetimes = LifetimeAnalysis::compute(&function, &sched);
+    let binding = Binding::compute(&function, &sched, &lifetimes, &library);
+    let report = DatapathReport::build(&function, &sched, &binding, &controller, &library);
+    stages.push(StageSnapshot { stage: "scheduled".to_string(), stats: FunctionStats::of(&function) });
+
+    Ok(SynthesisResult {
+        function,
+        graph,
+        schedule: sched,
+        controller,
+        binding,
+        report,
+        pass_log,
+        stages,
+        wire_report,
+        chaining,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spark_ild::{
+        buffer_env, build_ild_program, decode_marks, random_buffer, ILD_FUNCTION,
+    };
+
+    #[test]
+    fn ild_synthesizes_to_a_single_cycle() {
+        let n = 8u32;
+        let program = build_ild_program(n);
+        let result = synthesize(&program, ILD_FUNCTION, &FlowOptions::microprocessor_block(200.0))
+            .expect("synthesis succeeds");
+        assert!(result.is_single_cycle(), "the coordinated flow reaches the Figure 15 architecture");
+        assert!(result.report.critical_path_ns <= 200.0);
+        assert!(result.pass_log.iter().any(|r| r.pass == "speculation" && r.changes > 0));
+        assert!(result.pass_log.iter().any(|r| r.pass == "loop-unroll-all" && r.changes > 0));
+        assert!(result.stages.len() >= 5);
+    }
+
+    #[test]
+    fn synthesized_ild_matches_golden_model() {
+        let n = 8u32;
+        let program = build_ild_program(n);
+        let result = synthesize(&program, ILD_FUNCTION, &FlowOptions::microprocessor_block(200.0)).unwrap();
+        for seed in 0..6u64 {
+            let buffer = random_buffer(n as usize, seed);
+            let rtl = result.simulate(&buffer_env(&buffer)).unwrap();
+            let marks = rtl.array("Mark").unwrap();
+            let golden = decode_marks(&buffer, n as usize);
+            for i in 1..=n as usize {
+                assert_eq!(marks[i] != 0, golden[i], "byte {i}, seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn baseline_takes_more_cycles_than_spark() {
+        let n = 8u32;
+        let program = build_ild_program(n);
+        let spark = synthesize(&program, ILD_FUNCTION, &FlowOptions::microprocessor_block(200.0)).unwrap();
+        let baseline = synthesize(&program, ILD_FUNCTION, &FlowOptions::asic_baseline(20.0)).unwrap();
+        assert!(spark.report.states < baseline.report.states);
+        assert!(baseline.report.states > 1);
+    }
+
+    #[test]
+    fn unknown_top_function_is_reported() {
+        let program = build_ild_program(4);
+        let err = synthesize(&program, "missing", &FlowOptions::microprocessor_block(100.0)).unwrap_err();
+        assert!(matches!(err, SynthesisError::UnknownFunction(_)));
+    }
+
+    #[test]
+    fn vhdl_is_generated_for_the_ild() {
+        let program = build_ild_program(4);
+        let result = synthesize(&program, ILD_FUNCTION, &FlowOptions::microprocessor_block(200.0)).unwrap();
+        let vhdl = result.vhdl();
+        assert!(vhdl.contains("entity ild is"));
+        assert!(vhdl.contains("Mark_1 : out std_logic"));
+    }
+}

@@ -1,0 +1,253 @@
+//! Behavioral descriptions of the instruction length decoder.
+//!
+//! [`build_ild_program`] constructs the Figure 10 form — a byte loop calling
+//! `CalculateLength`, the input Spark starts from — and
+//! [`build_ild_natural_program`] constructs the "succinct and natural"
+//! `while(1)` description of Figure 16. Both operate on the synthetic
+//! encoding of [`crate::encoding`] and are checked against the golden model
+//! of [`crate::golden`].
+
+use spark_ir::{Env, FunctionBuilder, OpKind, Outcome, Program, Type, Value};
+
+/// Name of the top-level decoder function.
+pub const ILD_FUNCTION: &str = "ild";
+/// Name of the natural-form decoder function (Figure 16).
+pub const ILD_NATURAL_FUNCTION: &str = "ild_natural";
+/// Name of the length-calculation helper (Figure 10).
+pub const CALCULATE_LENGTH_FUNCTION: &str = "CalculateLength";
+
+/// Builds the `CalculateLength` helper of Figure 10 for a buffer of
+/// `buffer_len` bytes: nested conditionals examining up to four bytes.
+fn build_calculate_length(buffer_len: u32) -> spark_ir::Function {
+    let mut b = FunctionBuilder::new(CALCULATE_LENGTH_FUNCTION);
+    let buffer = b.param_array("buffer", Type::Bits(8), buffer_len);
+    let i = b.param("i", Type::Bits(16));
+    b.returns(Type::Bits(8));
+
+    let byte = Type::Bits(8);
+    let b1 = b.var("b1", byte);
+    let b2 = b.var("b2", byte);
+    let b3 = b.var("b3", byte);
+    let b4 = b.var("b4", byte);
+    let lc1 = b.var("lc1", byte);
+    let lc2 = b.var("lc2", byte);
+    let lc3 = b.var("lc3", byte);
+    let lc4 = b.var("lc4", byte);
+    let need2 = b.var("need2", Type::Bool);
+    let need3 = b.var("need3", Type::Bool);
+    let need4 = b.var("need4", Type::Bool);
+    let length = b.var("Length", byte);
+
+    // lc1 = (b1 & 3) + 1; need2 = b1[7]
+    b.array_read(b1, buffer, Value::Var(i));
+    let m1 = b.compute(OpKind::And, byte, vec![Value::Var(b1), Value::word(3)]);
+    b.assign(OpKind::Add, lc1, vec![Value::Var(m1), Value::word(1)]);
+    b.assign(OpKind::Slice { hi: 7, lo: 7 }, need2, vec![Value::Var(b1)]);
+
+    b.if_begin(Value::Var(need2));
+    {
+        let i1 = b.compute(OpKind::Add, Type::Bits(16), vec![Value::Var(i), Value::word(1)]);
+        b.array_read(b2, buffer, Value::Var(i1));
+        b.assign(OpKind::And, lc2, vec![Value::Var(b2), Value::word(3)]);
+        b.assign(OpKind::Slice { hi: 7, lo: 7 }, need3, vec![Value::Var(b2)]);
+        b.if_begin(Value::Var(need3));
+        {
+            let i2 = b.compute(OpKind::Add, Type::Bits(16), vec![Value::Var(i), Value::word(2)]);
+            b.array_read(b3, buffer, Value::Var(i2));
+            let m3 = b.compute(OpKind::And, byte, vec![Value::Var(b3), Value::word(1)]);
+            b.assign(OpKind::Add, lc3, vec![Value::Var(m3), Value::word(1)]);
+            b.assign(OpKind::Slice { hi: 7, lo: 7 }, need4, vec![Value::Var(b3)]);
+            b.if_begin(Value::Var(need4));
+            {
+                let i3 = b.compute(OpKind::Add, Type::Bits(16), vec![Value::Var(i), Value::word(3)]);
+                b.array_read(b4, buffer, Value::Var(i3));
+                let m4 = b.compute(OpKind::And, byte, vec![Value::Var(b4), Value::word(1)]);
+                b.assign(OpKind::Add, lc4, vec![Value::Var(m4), Value::word(1)]);
+                // Length = lc1 + lc2 + lc3 + lc4
+                let s1 = b.compute(OpKind::Add, byte, vec![Value::Var(lc1), Value::Var(lc2)]);
+                let s2 = b.compute(OpKind::Add, byte, vec![Value::Var(s1), Value::Var(lc3)]);
+                b.assign(OpKind::Add, length, vec![Value::Var(s2), Value::Var(lc4)]);
+            }
+            b.else_begin();
+            {
+                let s1 = b.compute(OpKind::Add, byte, vec![Value::Var(lc1), Value::Var(lc2)]);
+                b.assign(OpKind::Add, length, vec![Value::Var(s1), Value::Var(lc3)]);
+            }
+            b.if_end();
+        }
+        b.else_begin();
+        b.assign(OpKind::Add, length, vec![Value::Var(lc1), Value::Var(lc2)]);
+        b.if_end();
+    }
+    b.else_begin();
+    b.copy(length, Value::Var(lc1));
+    b.if_end();
+    b.ret(Value::Var(length));
+    b.finish()
+}
+
+/// Builds the Figure 10 behavioral description of the ILD for a buffer of
+/// `n` decodable bytes.
+///
+/// The program contains two functions: the top-level [`ILD_FUNCTION`]
+/// (byte loop, `Mark[]` output) and [`CALCULATE_LENGTH_FUNCTION`]. The
+/// instruction buffer is 1-indexed and carries `n + 3` look-ahead bytes, as
+/// the paper assumes.
+pub fn build_ild_program(n: u32) -> Program {
+    let buffer_len = n + 4;
+    let mut b = FunctionBuilder::new(ILD_FUNCTION);
+    let buffer = b.param_array("buffer", Type::Bits(8), buffer_len);
+    let mark = b.output_array("Mark", Type::Bool, n + 1);
+    let next_start = b.var("NextStartByte", Type::Bits(16));
+    let len = b.var("len", Type::Bits(8));
+    let i = b.var("i", Type::Bits(16));
+    let is_start = b.var("is_start", Type::Bool);
+
+    b.copy(next_start, Value::word(1));
+    b.for_begin(i, 1, Value::word(u64::from(n)), 1);
+    {
+        b.assign(OpKind::Eq, is_start, vec![Value::Var(i), Value::Var(next_start)]);
+        b.if_begin(Value::Var(is_start));
+        {
+            b.array_write(mark, Value::Var(i), Value::bool(true));
+            b.call(Some(len), CALCULATE_LENGTH_FUNCTION, vec![Value::Var(buffer), Value::Var(i)]);
+            b.assign(OpKind::Add, next_start, vec![Value::Var(next_start), Value::Var(len)]);
+        }
+        b.if_end();
+    }
+    b.loop_end();
+
+    let mut program = Program::new();
+    program.add_function(b.finish());
+    program.add_function(build_calculate_length(buffer_len));
+    program
+}
+
+/// Builds the "natural" Figure 16 description: a `while(1)` loop chasing
+/// `NextStartByte`. The arrays are sized generously because the natural form
+/// steps the cursor past the decode window before the source-level
+/// `while_to_for` transformation bounds it.
+pub fn build_ild_natural_program(n: u32) -> Program {
+    let buffer_len = 12 * n + 16;
+    let mut b = FunctionBuilder::new(ILD_NATURAL_FUNCTION);
+    let buffer = b.param_array("buffer", Type::Bits(8), buffer_len);
+    let mark = b.output_array("Mark", Type::Bool, buffer_len);
+    let next_start = b.var("NextStartByte", Type::Bits(16));
+    let len = b.var("len", Type::Bits(8));
+
+    b.copy(next_start, Value::word(1));
+    b.while_begin(Value::bool(true), Some(u64::from(n)));
+    {
+        b.array_write(mark, Value::Var(next_start), Value::bool(true));
+        b.call(Some(len), CALCULATE_LENGTH_FUNCTION, vec![Value::Var(buffer), Value::Var(next_start)]);
+        b.assign(OpKind::Add, next_start, vec![Value::Var(next_start), Value::Var(len)]);
+    }
+    b.loop_end();
+
+    let mut program = Program::new();
+    program.add_function(b.finish());
+    program.add_function(build_calculate_length(buffer_len));
+    program
+}
+
+/// Builds an interpreter/RTL input environment from an instruction buffer
+/// (1-indexed, `buffer[0]` unused, padded with zeros as needed).
+pub fn buffer_env(buffer: &[u8]) -> Env {
+    Env::new().with_array("buffer", buffer.iter().map(|&b| u64::from(b)).collect())
+}
+
+/// Extracts the mark bits `1..=n` from an execution outcome.
+pub fn marks_from_outcome(outcome: &Outcome, n: usize) -> Vec<bool> {
+    let marks = outcome.array("Mark").unwrap_or(&[]);
+    (1..=n).map(|i| marks.get(i).copied().unwrap_or(0) != 0).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::golden::decode_marks;
+    use crate::workload::{long_instruction_buffer, random_buffer, short_instruction_buffer};
+    use spark_ir::{verify, Interpreter};
+
+    fn golden_window(buffer: &[u8], n: usize) -> Vec<bool> {
+        decode_marks(buffer, n)[1..=n].to_vec()
+    }
+
+    #[test]
+    fn ild_program_is_well_formed() {
+        let program = build_ild_program(16);
+        for function in &program.functions {
+            verify(function).expect("well formed");
+        }
+        let ild = program.function(ILD_FUNCTION).unwrap();
+        assert_eq!(ild.loop_count(), 1);
+        assert!(program.function(CALCULATE_LENGTH_FUNCTION).is_some());
+    }
+
+    #[test]
+    fn interpreted_ild_matches_golden_model() {
+        let n = 16u32;
+        let program = build_ild_program(n);
+        for seed in 0..8u64 {
+            let buffer = random_buffer(n as usize, seed);
+            let env = buffer_env(&buffer);
+            let outcome = Interpreter::new(&program).run(ILD_FUNCTION, &env).unwrap();
+            let marks = marks_from_outcome(&outcome, n as usize);
+            assert_eq!(marks, golden_window(&buffer, n as usize), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn interpreted_ild_matches_golden_on_extreme_workloads() {
+        let n = 12u32;
+        let program = build_ild_program(n);
+        for buffer in [short_instruction_buffer(n as usize), long_instruction_buffer(n as usize)] {
+            let env = buffer_env(&buffer);
+            let outcome = Interpreter::new(&program).run(ILD_FUNCTION, &env).unwrap();
+            assert_eq!(
+                marks_from_outcome(&outcome, n as usize),
+                golden_window(&buffer, n as usize)
+            );
+        }
+    }
+
+    #[test]
+    fn natural_form_matches_golden_within_the_window() {
+        let n = 8u32;
+        let program = build_ild_natural_program(n);
+        for seed in [3u64, 17] {
+            let buffer = random_buffer(n as usize, seed);
+            let env = buffer_env(&buffer);
+            let outcome = Interpreter::new(&program).run(ILD_NATURAL_FUNCTION, &env).unwrap();
+            let marks = marks_from_outcome(&outcome, n as usize);
+            assert_eq!(marks, golden_window(&buffer, n as usize), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn calculate_length_matches_reference_encoding() {
+        use crate::encoding::calculate_length;
+        let program = build_ild_program(8);
+        let interp = Interpreter::new(&program);
+        for (b1, b2, b3, b4) in [
+            (0x00u8, 0x00u8, 0x00u8, 0x00u8),
+            (0x83, 0x03, 0x00, 0x00),
+            (0x83, 0x83, 0x81, 0x01),
+            (0xFF, 0xFF, 0xFF, 0xFF),
+            (0x7F, 0xAA, 0xBB, 0xCC),
+        ] {
+            let mut buffer = vec![0u8; 12];
+            buffer[1] = b1;
+            buffer[2] = b2;
+            buffer[3] = b3;
+            buffer[4] = b4;
+            let env = buffer_env(&buffer).with_scalar("i", 1);
+            let outcome = interp.run(CALCULATE_LENGTH_FUNCTION, &env).unwrap();
+            assert_eq!(
+                outcome.return_value,
+                Some(u64::from(calculate_length(b1, b2, b3, b4))),
+                "bytes {b1:02x} {b2:02x} {b3:02x} {b4:02x}"
+            );
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! The synthetic variable-length instruction encoding.
+//!
+//! The paper's ILD decodes an x86-style stream in which "instructions can be
+//! of variable length ranging from 1 to 11 bytes and the decoder has to look
+//! at up to 4 bytes to determine an instruction's length". The real length
+//! tables are proprietary, so this reproduction uses a synthetic encoding
+//! with exactly that structure: per-byte length contributions plus
+//! `Need_kth_Byte` continuation flags, giving lengths 1..=11 decided by at
+//! most 4 bytes. The table contents are irrelevant to the transformations —
+//! only the nested look-ahead structure matters.
+
+/// Length contribution of the first byte of an instruction (1..=4).
+pub fn length_contribution_1(byte: u8) -> u8 {
+    (byte & 0x03) + 1
+}
+
+/// Whether the second byte must be examined.
+pub fn need_2nd_byte(byte: u8) -> bool {
+    byte & 0x80 != 0
+}
+
+/// Length contribution of the second byte (0..=3).
+pub fn length_contribution_2(byte: u8) -> u8 {
+    byte & 0x03
+}
+
+/// Whether the third byte must be examined.
+pub fn need_3rd_byte(byte: u8) -> bool {
+    byte & 0x80 != 0
+}
+
+/// Length contribution of the third byte (1..=2).
+pub fn length_contribution_3(byte: u8) -> u8 {
+    (byte & 0x01) + 1
+}
+
+/// Whether the fourth byte must be examined.
+pub fn need_4th_byte(byte: u8) -> bool {
+    byte & 0x80 != 0
+}
+
+/// Length contribution of the fourth byte (1..=2).
+pub fn length_contribution_4(byte: u8) -> u8 {
+    (byte & 0x01) + 1
+}
+
+/// The maximum instruction length this encoding can produce.
+pub const MAX_INSTRUCTION_LENGTH: u8 = 11;
+
+/// Computes the length of the instruction whose first four bytes are given —
+/// the reference implementation of the paper's `CalculateLength` (Figure 10).
+pub fn calculate_length(b1: u8, b2: u8, b3: u8, b4: u8) -> u8 {
+    let lc1 = length_contribution_1(b1);
+    if need_2nd_byte(b1) {
+        let lc2 = length_contribution_2(b2);
+        if need_3rd_byte(b2) {
+            let lc3 = length_contribution_3(b3);
+            if need_4th_byte(b3) {
+                let lc4 = length_contribution_4(b4);
+                lc1 + lc2 + lc3 + lc4
+            } else {
+                lc1 + lc2 + lc3
+            }
+        } else {
+            lc1 + lc2
+        }
+    } else {
+        lc1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_byte_instructions() {
+        assert_eq!(calculate_length(0x00, 0, 0, 0), 1);
+        assert_eq!(calculate_length(0x03, 0, 0, 0), 4);
+        assert!(!need_2nd_byte(0x7F));
+    }
+
+    #[test]
+    fn multi_byte_instructions() {
+        // need2 set, second byte contributes 3, no third byte.
+        assert_eq!(calculate_length(0x83, 0x03, 0, 0), 4 + 3);
+        // All four bytes used.
+        assert_eq!(calculate_length(0x83, 0x83, 0x81, 0x01), 4 + 3 + 2 + 2);
+    }
+
+    #[test]
+    fn length_is_always_in_declared_range() {
+        for b1 in 0..=255u8 {
+            for &b2 in &[0u8, 0x7F, 0x80, 0xFF] {
+                for &b3 in &[0u8, 0x81, 0xFF] {
+                    for &b4 in &[0u8, 0xFF] {
+                        let len = calculate_length(b1, b2, b3, b4);
+                        assert!(
+                            (1..=MAX_INSTRUCTION_LENGTH).contains(&len),
+                            "length {len} out of range for {b1:02x} {b2:02x} {b3:02x} {b4:02x}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn maximum_length_is_reachable() {
+        assert_eq!(calculate_length(0x83, 0x83, 0x81, 0x01), MAX_INSTRUCTION_LENGTH);
+    }
+}

@@ -1,0 +1,112 @@
+//! Golden software model of the instruction length decoder.
+//!
+//! A straightforward Rust implementation of the behavioral "C" code of
+//! Figure 10: walk the instruction buffer, mark every byte at which an
+//! instruction starts, computing each instruction's length with the
+//! reference `CalculateLength`. Every synthesized design (interpreted IR at
+//! each transformation stage, scheduled FSM, generated RTL) is checked
+//! against this model on the same buffers.
+
+use crate::encoding::calculate_length;
+
+/// Decodes one instruction buffer.
+///
+/// `buffer` is 1-indexed like the paper's pseudo-code: `buffer[0]` is unused
+/// and decoding starts at byte 1. The buffer must contain at least `n + 3`
+/// valid entries past index 0 (the paper assumes "a zero length contribution
+/// from the n+1 to n+3 bytes"; callers pad with zeros).
+///
+/// Returns the mark vector: `marks[i]` is `true` when an instruction starts
+/// at byte `i` (indices `1..=n`; index 0 is always `false`).
+///
+/// # Panics
+/// Panics if the buffer is shorter than `n + 4` entries.
+pub fn decode_marks(buffer: &[u8], n: usize) -> Vec<bool> {
+    assert!(
+        buffer.len() >= n + 4,
+        "buffer must hold {} bytes (n + 3 look-ahead past index 0), got {}",
+        n + 4,
+        buffer.len()
+    );
+    let mut marks = vec![false; n + 1];
+    let mut next_start_byte = 1usize;
+    for i in 1..=n {
+        if i == next_start_byte {
+            marks[i] = true;
+            let len = calculate_length(buffer[i], buffer[i + 1], buffer[i + 2], buffer[i + 3]);
+            next_start_byte += len as usize;
+        }
+    }
+    marks
+}
+
+/// Count of instructions found in a mark vector.
+pub fn instruction_count(marks: &[bool]) -> usize {
+    marks.iter().filter(|&&m| m).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_one_byte_instructions() {
+        // Bytes with low 2 bits = 0 and high bit clear are 1-byte instructions.
+        let n = 8;
+        let buffer = vec![0u8; n + 4];
+        let marks = decode_marks(&buffer, n);
+        assert_eq!(instruction_count(&marks), n);
+        assert!(marks[1..=n].iter().all(|&m| m));
+        assert!(!marks[0]);
+    }
+
+    #[test]
+    fn four_byte_instructions() {
+        // 0x03 => length 4 with no continuation.
+        let n = 8;
+        let mut buffer = vec![0u8; n + 4];
+        for i in 1..=n {
+            buffer[i] = 0x03;
+        }
+        let marks = decode_marks(&buffer, n);
+        assert_eq!(
+            marks[1..=n],
+            [true, false, false, false, true, false, false, false]
+        );
+    }
+
+    #[test]
+    fn mixed_lengths() {
+        let n = 10;
+        let mut buffer = vec![0u8; n + 4];
+        // byte 1: 0x81 -> lc1=2, need2; byte 2: 0x01 -> lc2=1 => len 3
+        buffer[1] = 0x81;
+        buffer[2] = 0x01;
+        // byte 4: 0x00 -> len 1
+        // byte 5: 0x02 -> len 3
+        buffer[5] = 0x02;
+        let marks = decode_marks(&buffer, n);
+        assert_eq!(
+            marks[1..=n],
+            [true, false, false, true, true, false, false, true, true, true]
+        );
+    }
+
+    #[test]
+    fn instruction_starting_near_the_end_uses_lookahead_bytes() {
+        let n = 4;
+        let mut buffer = vec![0u8; n + 4];
+        buffer[4] = 0x83; // needs byte 5 (look-ahead), which is zero-padded
+        buffer[3] = 0x00;
+        buffer[2] = 0x00;
+        buffer[1] = 0x02; // len 3 -> next start at 4
+        let marks = decode_marks(&buffer, n);
+        assert_eq!(marks[1..=n], [true, false, false, true]);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer must hold")]
+    fn short_buffer_panics() {
+        decode_marks(&[0u8; 4], 4);
+    }
+}

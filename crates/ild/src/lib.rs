@@ -1,0 +1,48 @@
+//! # spark-ild — the instruction length decoder case study
+//!
+//! The case study of the Spark HLS reproduction (Gupta et al., DAC 2002,
+//! Sections 5–6): a Pentium-style instruction length decoder that finds the
+//! starting byte of every variable-length instruction (1–11 bytes, up to
+//! 4 bytes examined) in an instruction buffer.
+//!
+//! The crate provides:
+//!
+//! * a synthetic [`encoding`] with the paper's look-ahead structure (the real
+//!   tables are proprietary — see `DESIGN.md` for the substitution note);
+//! * a [`decode_marks`] golden software reference decoder;
+//! * behavioral descriptions: the Figure 10 form ([`build_ild_program`]) and
+//!   the natural Figure 16 form ([`build_ild_natural_program`]);
+//! * buffer workload generators used by tests and benchmarks.
+//!
+//! # Examples
+//!
+//! ```
+//! use spark_ild::{build_ild_program, buffer_env, decode_marks, marks_from_outcome, random_buffer, ILD_FUNCTION};
+//! use spark_ir::Interpreter;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let n = 8;
+//! let program = build_ild_program(n as u32);
+//! let buffer = random_buffer(n, 42);
+//! let outcome = Interpreter::new(&program).run(ILD_FUNCTION, &buffer_env(&buffer))?;
+//! let marks = marks_from_outcome(&outcome, n);
+//! assert_eq!(marks, decode_marks(&buffer, n)[1..=n].to_vec());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod encoding;
+mod behavior;
+mod golden;
+mod workload;
+
+pub use behavior::{
+    buffer_env, build_ild_natural_program, build_ild_program, marks_from_outcome,
+    CALCULATE_LENGTH_FUNCTION, ILD_FUNCTION, ILD_NATURAL_FUNCTION,
+};
+pub use golden::{decode_marks, instruction_count};
+pub use workload::{
+    long_instruction_buffer, mixed_instruction_buffer, random_buffer, short_instruction_buffer,
+};

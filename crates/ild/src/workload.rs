@@ -1,0 +1,100 @@
+//! Instruction-buffer workload generators.
+//!
+//! The evaluation sweeps buffer sizes and instruction-length mixes; these
+//! generators produce the 1-indexed buffers (with `n + 3` zero-padded
+//! look-ahead bytes) the golden model and the synthesized designs consume.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A uniformly random buffer of `n` decodable bytes (deterministic per seed).
+pub fn random_buffer(n: usize, seed: u64) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut buffer = vec![0u8; n + 4];
+    for byte in buffer.iter_mut().take(n + 1).skip(1) {
+        *byte = rng.r#gen();
+    }
+    buffer
+}
+
+/// A buffer consisting entirely of one-byte instructions — the densest
+/// marking the decoder can produce.
+pub fn short_instruction_buffer(n: usize) -> Vec<u8> {
+    vec![0u8; n + 4]
+}
+
+/// A buffer consisting of maximum-length (11-byte) instructions — the
+/// sparsest marking.
+pub fn long_instruction_buffer(n: usize) -> Vec<u8> {
+    let pattern = [0x83u8, 0x83, 0x81, 0x01, 0, 0, 0, 0, 0, 0, 0];
+    let mut buffer = vec![0u8; n + 4];
+    for i in 1..=n {
+        buffer[i] = pattern[(i - 1) % pattern.len()];
+    }
+    buffer
+}
+
+/// A buffer with an even mix of 1-, 4- and 7-byte instructions.
+pub fn mixed_instruction_buffer(n: usize, seed: u64) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut buffer = vec![0u8; n + 4];
+    let mut i = 1usize;
+    while i <= n {
+        let choice: u8 = rng.gen_range(0..3);
+        match choice {
+            0 => {
+                buffer[i] = 0x00; // length 1
+                i += 1;
+            }
+            1 => {
+                buffer[i] = 0x03; // length 4
+                i += 4;
+            }
+            _ => {
+                buffer[i] = 0x83; // lc1 = 4, need2
+                if i + 1 <= n {
+                    buffer[i + 1] = 0x03; // lc2 = 3
+                }
+                i += 7;
+            }
+        }
+    }
+    buffer
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::golden::{decode_marks, instruction_count};
+
+    #[test]
+    fn random_buffers_are_deterministic_per_seed() {
+        assert_eq!(random_buffer(16, 7), random_buffer(16, 7));
+        assert_ne!(random_buffer(16, 7), random_buffer(16, 8));
+        assert_eq!(random_buffer(16, 7).len(), 20);
+        assert_eq!(random_buffer(16, 7)[0], 0, "index 0 is unused");
+    }
+
+    #[test]
+    fn short_buffers_mark_every_byte() {
+        let n = 12;
+        let marks = decode_marks(&short_instruction_buffer(n), n);
+        assert_eq!(instruction_count(&marks), n);
+    }
+
+    #[test]
+    fn long_buffers_mark_sparsely() {
+        let n = 22;
+        let marks = decode_marks(&long_instruction_buffer(n), n);
+        assert_eq!(instruction_count(&marks), 2, "11-byte instructions");
+    }
+
+    #[test]
+    fn mixed_buffers_are_valid() {
+        let n = 32;
+        let buffer = mixed_instruction_buffer(n, 3);
+        assert_eq!(buffer.len(), n + 4);
+        let marks = decode_marks(&buffer, n);
+        assert!(instruction_count(&marks) >= n / 7);
+    }
+}

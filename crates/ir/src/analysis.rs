@@ -1,0 +1,185 @@
+//! Def–use information over the live operations of a function.
+//!
+//! Several transformations (copy propagation, dead code elimination, the
+//! wire-variable pass) need to know, for every variable, which live
+//! operations read it and which write it. [`DefUse`] computes that once per
+//! pass over the HTG; passes invalidate it simply by recomputing.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::function::Function;
+use crate::htg::{HtgNode, LoopKind};
+use crate::op::OpId;
+use crate::value::Value;
+use crate::var::{PortDirection, VarId};
+
+/// Def–use chains for one function.
+#[derive(Clone, Debug, Default)]
+pub struct DefUse {
+    /// For each variable, the live operations that read it (in program order).
+    pub uses: BTreeMap<VarId, Vec<OpId>>,
+    /// For each variable, the live operations that write it (in program order).
+    pub defs: BTreeMap<VarId, Vec<OpId>>,
+    /// Variables read by control structure rather than operations: `if`
+    /// conditions, `while` conditions and `for` bounds/indices. These have no
+    /// defining [`OpId`] but still keep their producers alive.
+    pub control_uses: BTreeSet<VarId>,
+}
+
+impl DefUse {
+    /// Computes def–use chains over the live operations of `function`'s body.
+    pub fn compute(function: &Function) -> Self {
+        let mut info = DefUse::default();
+        for op_id in function.live_ops() {
+            let op = &function.ops[op_id];
+            for used in op.uses() {
+                info.uses.entry(used).or_default().push(op_id);
+            }
+            if let Some(defined) = op.def() {
+                info.defs.entry(defined).or_default().push(op_id);
+            }
+        }
+        // Conditions and loop bounds are uses too: an operation computing an
+        // `if` condition must never be considered dead.
+        fn record(set: &mut BTreeSet<VarId>, value: Value) {
+            if let Value::Var(v) = value {
+                set.insert(v);
+            }
+        }
+        for (_, node) in function.nodes.iter() {
+            match node {
+                HtgNode::Block(_) => {}
+                HtgNode::If(i) => record(&mut info.control_uses, i.cond),
+                HtgNode::Loop(l) => match &l.kind {
+                    LoopKind::For { index, end, .. } => {
+                        record(&mut info.control_uses, *end);
+                        info.control_uses.insert(*index);
+                    }
+                    LoopKind::While { cond } => record(&mut info.control_uses, *cond),
+                },
+            }
+        }
+        info
+    }
+
+    /// Operations reading `var` (empty slice if none).
+    pub fn uses_of(&self, var: VarId) -> &[OpId] {
+        self.uses.get(&var).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Operations writing `var` (empty slice if none).
+    pub fn defs_of(&self, var: VarId) -> &[OpId] {
+        self.defs.get(&var).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Returns `true` if `var` has no live readers (neither operations nor
+    /// control structure) and is not a primary output of the function — i.e.
+    /// writes to it are dead unless they have other side effects.
+    pub fn is_dead(&self, function: &Function, var: VarId) -> bool {
+        self.uses_of(var).is_empty()
+            && !self.control_uses.contains(&var)
+            && function.vars[var].direction != PortDirection::Output
+    }
+
+    /// Returns `true` if `var` is written by exactly one live operation.
+    pub fn has_single_def(&self, var: VarId) -> bool {
+        self.defs_of(var).len() == 1
+    }
+}
+
+/// Summary statistics of a function, used by reports and benchmarks to record
+/// the effect of each transformation stage (operation counts per Figure of
+/// the paper).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FunctionStats {
+    /// Live operations in the body.
+    pub operations: usize,
+    /// Basic blocks reachable from the body.
+    pub blocks: usize,
+    /// Conditional (`if`) HTG nodes.
+    pub conditionals: usize,
+    /// Loop HTG nodes.
+    pub loops: usize,
+    /// Maximum compound-node nesting depth.
+    pub nesting_depth: usize,
+    /// Declared variables (live or not).
+    pub variables: usize,
+}
+
+impl FunctionStats {
+    /// Gathers statistics for `function`.
+    pub fn of(function: &Function) -> Self {
+        FunctionStats {
+            operations: function.live_op_count(),
+            blocks: function.block_count(),
+            conditionals: function.if_count(),
+            loops: function.loop_count(),
+            nesting_depth: function.nesting_depth(),
+            variables: function.vars.len(),
+        }
+    }
+}
+
+impl std::fmt::Display for FunctionStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} ops, {} blocks, {} ifs, {} loops, depth {}, {} vars",
+            self.operations, self.blocks, self.conditionals, self.loops, self.nesting_depth, self.variables
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::op::OpKind;
+    use crate::types::Type;
+    use crate::value::Value;
+
+    #[test]
+    fn def_use_chains() {
+        let mut b = FunctionBuilder::new("f");
+        let a = b.param("a", Type::Bits(8));
+        let x = b.var("x", Type::Bits(8));
+        let y = b.var("y", Type::Bits(8));
+        let op1 = b.assign(OpKind::Add, x, vec![Value::Var(a), Value::word(1)]);
+        let op2 = b.assign(OpKind::Add, y, vec![Value::Var(x), Value::Var(x)]);
+        let f = b.finish();
+        let du = DefUse::compute(&f);
+        assert_eq!(du.defs_of(x), &[op1]);
+        assert_eq!(du.uses_of(x), &[op2, op2]);
+        assert_eq!(du.uses_of(a), &[op1]);
+        assert!(du.has_single_def(x));
+        assert!(du.is_dead(&f, y));
+        assert!(!du.is_dead(&f, x));
+    }
+
+    #[test]
+    fn outputs_are_never_dead() {
+        let mut b = FunctionBuilder::new("f");
+        let o = b.output("o", Type::Bits(8));
+        b.copy(o, Value::word(1));
+        let f = b.finish();
+        let du = DefUse::compute(&f);
+        assert!(!du.is_dead(&f, o));
+    }
+
+    #[test]
+    fn stats_capture_structure() {
+        let mut b = FunctionBuilder::new("f");
+        let c = b.param("c", Type::Bool);
+        let x = b.var("x", Type::Bits(8));
+        b.if_begin(Value::Var(c));
+        b.copy(x, Value::word(1));
+        b.if_end();
+        let f = b.finish();
+        let stats = FunctionStats::of(&f);
+        assert_eq!(stats.operations, 1);
+        assert_eq!(stats.conditionals, 1);
+        assert_eq!(stats.loops, 0);
+        assert_eq!(stats.nesting_depth, 1);
+        assert!(stats.to_string().contains("1 ops"));
+    }
+}

@@ -1,0 +1,93 @@
+//! Basic blocks: maximal straight-line sequences of operations.
+
+use crate::arena::Id;
+use crate::op::OpId;
+
+/// Typed id of a [`BasicBlock`] inside its owning function.
+pub type BlockId = Id<BasicBlock>;
+
+/// A straight-line sequence of operations with no internal control flow.
+///
+/// Blocks are the leaves of the hierarchical task graph. Operation order
+/// within a block encodes the original program order; scheduling may later
+/// place several operations of one block (and of different blocks) into the
+/// same control step.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct BasicBlock {
+    /// Human-readable label (`BB0`, `then.1`, ...), used by the printer and
+    /// by diagnostics.
+    pub label: String,
+    /// Operation ids in program order. Dead operations are retained here and
+    /// filtered by traversals.
+    pub ops: Vec<OpId>,
+}
+
+impl BasicBlock {
+    /// Creates an empty block with the given label.
+    pub fn new(label: impl Into<String>) -> Self {
+        BasicBlock { label: label.into(), ops: Vec::new() }
+    }
+
+    /// Appends an operation to the end of the block.
+    pub fn push(&mut self, op: OpId) {
+        self.ops.push(op);
+    }
+
+    /// Inserts an operation at `index` (program order position).
+    ///
+    /// # Panics
+    /// Panics if `index > self.ops.len()`.
+    pub fn insert(&mut self, index: usize, op: OpId) {
+        self.ops.insert(index, op);
+    }
+
+    /// Removes the first occurrence of `op` from the block, returning whether
+    /// it was present.
+    pub fn remove(&mut self, op: OpId) -> bool {
+        if let Some(pos) = self.ops.iter().position(|&o| o == op) {
+            self.ops.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of operation slots (including dead operations).
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Returns `true` if the block holds no operations at all.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_insert_remove() {
+        let mut bb = BasicBlock::new("BB0");
+        let a = OpId::from_raw(0);
+        let b = OpId::from_raw(1);
+        let c = OpId::from_raw(2);
+        bb.push(a);
+        bb.push(c);
+        bb.insert(1, b);
+        assert_eq!(bb.ops, vec![a, b, c]);
+        assert!(bb.remove(b));
+        assert!(!bb.remove(b));
+        assert_eq!(bb.ops, vec![a, c]);
+        assert_eq!(bb.len(), 2);
+        assert!(!bb.is_empty());
+    }
+
+    #[test]
+    fn empty_block() {
+        let bb = BasicBlock::new("BB1");
+        assert!(bb.is_empty());
+        assert_eq!(bb.label, "BB1");
+    }
+}

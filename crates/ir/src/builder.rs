@@ -1,0 +1,381 @@
+//! Structured construction of behavioral functions.
+//!
+//! [`FunctionBuilder`] offers a stack-based API mirroring the source
+//! structure: `if_begin`/`else_begin`/`if_end`, `for_begin`/`loop_end`, and
+//! per-operation helpers. It is used both by the C-like frontend and by the
+//! ILD generator, and is handy for writing tests.
+
+use crate::function::Function;
+use crate::htg::{LoopKind, RegionId};
+use crate::op::{OpId, OpKind};
+use crate::types::Type;
+use crate::value::{Constant, Value};
+use crate::var::{Var, VarId};
+use crate::block::BlockId;
+
+#[derive(Debug)]
+enum Frame {
+    If {
+        cond: Value,
+        then_region: RegionId,
+        else_region: RegionId,
+        in_else: bool,
+    },
+    For {
+        index: VarId,
+        start: Constant,
+        end: Value,
+        step: i64,
+        body: RegionId,
+        trip_bound: Option<u64>,
+    },
+    While {
+        cond: Value,
+        body: RegionId,
+        trip_bound: Option<u64>,
+    },
+}
+
+/// Builds a [`Function`] with structured control flow.
+///
+/// # Examples
+/// ```
+/// use spark_ir::{FunctionBuilder, OpKind, Type, Value};
+///
+/// let mut b = FunctionBuilder::new("max");
+/// let x = b.param("x", Type::Bits(8));
+/// let y = b.param("y", Type::Bits(8));
+/// let out = b.var("out", Type::Bits(8));
+/// let cond = b.compute(OpKind::Gt, Type::Bool, vec![Value::Var(x), Value::Var(y)]);
+/// b.if_begin(Value::Var(cond));
+/// b.assign(OpKind::Copy, out, vec![Value::Var(x)]);
+/// b.else_begin();
+/// b.assign(OpKind::Copy, out, vec![Value::Var(y)]);
+/// b.if_end();
+/// b.ret(Value::Var(out));
+/// let f = b.finish();
+/// assert_eq!(f.live_op_count(), 4);
+/// ```
+#[derive(Debug)]
+pub struct FunctionBuilder {
+    function: Function,
+    /// Stack of open structured constructs.
+    frames: Vec<Frame>,
+    /// Stack of regions currently being appended to; the last entry is the
+    /// insertion point.
+    region_stack: Vec<RegionId>,
+    /// Open basic block at the end of the current region, if any.
+    current_block: Option<BlockId>,
+    block_counter: u32,
+}
+
+impl FunctionBuilder {
+    /// Starts building a function with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        let function = Function::new(name);
+        let body = function.body;
+        FunctionBuilder {
+            function,
+            frames: Vec::new(),
+            region_stack: vec![body],
+            current_block: None,
+            block_counter: 0,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Declarations
+    // ------------------------------------------------------------------
+
+    /// Declares a scalar input parameter.
+    pub fn param(&mut self, name: &str, ty: Type) -> VarId {
+        self.function.add_param(Var::register(name, ty))
+    }
+
+    /// Declares an array input parameter of `length` elements.
+    pub fn param_array(&mut self, name: &str, ty: Type, length: u32) -> VarId {
+        self.function.add_param(Var::array(name, ty, length))
+    }
+
+    /// Declares an internal register variable.
+    pub fn var(&mut self, name: &str, ty: Type) -> VarId {
+        self.function.add_var(Var::register(name, ty))
+    }
+
+    /// Declares an internal wire-variable.
+    pub fn wire(&mut self, name: &str, ty: Type) -> VarId {
+        self.function.add_var(Var::wire(name, ty))
+    }
+
+    /// Declares an internal array variable.
+    pub fn array(&mut self, name: &str, ty: Type, length: u32) -> VarId {
+        self.function.add_var(Var::array(name, ty, length))
+    }
+
+    /// Declares a primary-output array (e.g. the ILD `Mark[]` vector).
+    pub fn output_array(&mut self, name: &str, ty: Type, length: u32) -> VarId {
+        self.function.add_var(Var::array(name, ty, length).as_output())
+    }
+
+    /// Declares a primary-output scalar.
+    pub fn output(&mut self, name: &str, ty: Type) -> VarId {
+        self.function.add_var(Var::register(name, ty).as_output())
+    }
+
+    /// Sets the declared return type.
+    pub fn returns(&mut self, ty: Type) {
+        self.function.return_type = Some(ty);
+    }
+
+    // ------------------------------------------------------------------
+    // Operations
+    // ------------------------------------------------------------------
+
+    fn ensure_block(&mut self) -> BlockId {
+        if let Some(block) = self.current_block {
+            return block;
+        }
+        let label = format!("BB{}", self.block_counter);
+        self.block_counter += 1;
+        let block = self.function.add_block(label);
+        let node = self.function.add_block_node(block);
+        let region = *self.region_stack.last().expect("builder has a current region");
+        self.function.region_push(region, node);
+        self.current_block = Some(block);
+        block
+    }
+
+    /// Emits `dest = kind(args...)` into the current block.
+    pub fn assign(&mut self, kind: OpKind, dest: VarId, args: Vec<Value>) -> OpId {
+        let block = self.ensure_block();
+        self.function.push_op(block, kind, Some(dest), args)
+    }
+
+    /// Emits an operation into a fresh temporary of type `ty` and returns the
+    /// temporary's id.
+    pub fn compute(&mut self, kind: OpKind, ty: Type, args: Vec<Value>) -> VarId {
+        let dest = self.function.fresh_temp("t", ty);
+        self.assign(kind, dest, args);
+        dest
+    }
+
+    /// Emits `dest = value` (a copy).
+    pub fn copy(&mut self, dest: VarId, value: Value) -> OpId {
+        self.assign(OpKind::Copy, dest, vec![value])
+    }
+
+    /// Emits `array[index] = value`.
+    pub fn array_write(&mut self, array: VarId, index: Value, value: Value) -> OpId {
+        let block = self.ensure_block();
+        self.function
+            .push_op(block, OpKind::ArrayWrite { array }, None, vec![index, value])
+    }
+
+    /// Emits `dest = array[index]`.
+    pub fn array_read(&mut self, dest: VarId, array: VarId, index: Value) -> OpId {
+        self.assign(OpKind::ArrayRead { array }, dest, vec![index])
+    }
+
+    /// Emits `dest = callee(args...)`.
+    pub fn call(&mut self, dest: Option<VarId>, callee: &str, args: Vec<Value>) -> OpId {
+        let block = self.ensure_block();
+        self.function
+            .push_op(block, OpKind::Call { callee: callee.to_string() }, dest, args)
+    }
+
+    /// Emits `return value`.
+    pub fn ret(&mut self, value: Value) -> OpId {
+        let block = self.ensure_block();
+        self.function.push_op(block, OpKind::Return, None, vec![value])
+    }
+
+    // ------------------------------------------------------------------
+    // Structured control flow
+    // ------------------------------------------------------------------
+
+    /// Opens an `if (cond) { ... }` construct; subsequent operations go to
+    /// the then-branch until [`else_begin`](Self::else_begin) or
+    /// [`if_end`](Self::if_end).
+    pub fn if_begin(&mut self, cond: Value) {
+        self.current_block = None;
+        let then_region = self.function.add_region();
+        let else_region = self.function.add_region();
+        self.frames.push(Frame::If { cond, then_region, else_region, in_else: false });
+        self.region_stack.push(then_region);
+    }
+
+    /// Switches from the then-branch to the else-branch.
+    ///
+    /// # Panics
+    /// Panics if no `if` is open or the else-branch was already started.
+    pub fn else_begin(&mut self) {
+        self.current_block = None;
+        let frame = self.frames.last_mut().expect("else_begin outside of if");
+        match frame {
+            Frame::If { else_region, in_else, .. } => {
+                assert!(!*in_else, "else_begin called twice for the same if");
+                *in_else = true;
+                let else_region = *else_region;
+                self.region_stack.pop();
+                self.region_stack.push(else_region);
+            }
+            _ => panic!("else_begin does not match an open if"),
+        }
+    }
+
+    /// Closes the innermost `if` construct.
+    ///
+    /// # Panics
+    /// Panics if the innermost open construct is not an `if`.
+    pub fn if_end(&mut self) {
+        self.current_block = None;
+        let frame = self.frames.pop().expect("if_end without an open if");
+        match frame {
+            Frame::If { cond, then_region, else_region, .. } => {
+                self.region_stack.pop();
+                let node = self.function.add_if_node(cond, then_region, else_region);
+                let region = *self.region_stack.last().expect("parent region");
+                self.function.region_push(region, node);
+            }
+            _ => panic!("if_end does not match an open if"),
+        }
+    }
+
+    /// Opens a `for (index = start; index <= end; index += step)` loop.
+    pub fn for_begin(&mut self, index: VarId, start: u64, end: Value, step: i64) {
+        self.current_block = None;
+        let body = self.function.add_region();
+        let start = Constant::new(start, self.function.vars[index].ty);
+        self.frames.push(Frame::For { index, start, end, step, body, trip_bound: None });
+        self.region_stack.push(body);
+    }
+
+    /// Opens a `while (cond)` loop. `trip_bound` is a designer-provided bound
+    /// on the number of iterations (needed to unroll `while(1)` loops).
+    pub fn while_begin(&mut self, cond: Value, trip_bound: Option<u64>) {
+        self.current_block = None;
+        let body = self.function.add_region();
+        self.frames.push(Frame::While { cond, body, trip_bound });
+        self.region_stack.push(body);
+    }
+
+    /// Closes the innermost loop construct (either kind).
+    ///
+    /// # Panics
+    /// Panics if the innermost open construct is not a loop.
+    pub fn loop_end(&mut self) {
+        self.current_block = None;
+        let frame = self.frames.pop().expect("loop_end without an open loop");
+        self.region_stack.pop();
+        let node = match frame {
+            Frame::For { index, start, end, step, body, trip_bound } => self.function.add_loop_node(
+                LoopKind::For { index, start, end, step },
+                body,
+                trip_bound,
+            ),
+            Frame::While { cond, body, trip_bound } => {
+                self.function.add_loop_node(LoopKind::While { cond }, body, trip_bound)
+            }
+            Frame::If { .. } => panic!("loop_end does not match an open loop"),
+        };
+        let region = *self.region_stack.last().expect("parent region");
+        self.function.region_push(region, node);
+    }
+
+    /// Finishes construction and returns the function.
+    ///
+    /// # Panics
+    /// Panics if any structured construct is still open.
+    pub fn finish(self) -> Function {
+        assert!(
+            self.frames.is_empty(),
+            "finish called with {} unclosed construct(s)",
+            self.frames.len()
+        );
+        self.function
+    }
+
+    /// Access to the function under construction (e.g. to register extra
+    /// variables through [`Function`] APIs).
+    pub fn function_mut(&mut self) -> &mut Function {
+        &mut self.function
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::htg::HtgNode;
+
+    #[test]
+    fn builds_if_else_structure() {
+        let mut b = FunctionBuilder::new("f");
+        let c = b.param("c", Type::Bool);
+        let x = b.var("x", Type::Bits(8));
+        b.if_begin(Value::Var(c));
+        b.copy(x, Value::word(1));
+        b.else_begin();
+        b.copy(x, Value::word(2));
+        b.if_end();
+        let f = b.finish();
+        assert_eq!(f.if_count(), 1);
+        assert_eq!(f.live_op_count(), 2);
+    }
+
+    #[test]
+    fn builds_for_loop() {
+        let mut b = FunctionBuilder::new("loop");
+        let i = b.var("i", Type::Bits(32));
+        let acc = b.var("acc", Type::Bits(32));
+        b.copy(acc, Value::word(0));
+        b.for_begin(i, 1, Value::word(4), 1);
+        b.assign(OpKind::Add, acc, vec![Value::Var(acc), Value::Var(i)]);
+        b.loop_end();
+        let f = b.finish();
+        assert_eq!(f.loop_count(), 1);
+        assert_eq!(f.live_op_count(), 2);
+        // The loop node carries the index variable.
+        let found = f.nodes.iter().any(|(_, n)| match n {
+            HtgNode::Loop(l) => matches!(l.kind, LoopKind::For { index, .. } if index == i),
+            _ => false,
+        });
+        assert!(found);
+    }
+
+    #[test]
+    fn while_loop_records_trip_bound() {
+        let mut b = FunctionBuilder::new("w");
+        let x = b.var("x", Type::Bits(8));
+        b.while_begin(Value::bool(true), Some(16));
+        b.assign(OpKind::Add, x, vec![Value::Var(x), Value::word(1)]);
+        b.loop_end();
+        let f = b.finish();
+        let bound = f.nodes.iter().find_map(|(_, n)| match n {
+            HtgNode::Loop(l) => l.trip_bound,
+            _ => None,
+        });
+        assert_eq!(bound, Some(16));
+    }
+
+    #[test]
+    #[should_panic(expected = "unclosed")]
+    fn finish_with_open_if_panics() {
+        let mut b = FunctionBuilder::new("bad");
+        b.if_begin(Value::bool(true));
+        let _ = b.finish();
+    }
+
+    #[test]
+    fn blocks_split_around_compound_nodes() {
+        let mut b = FunctionBuilder::new("split");
+        let x = b.var("x", Type::Bits(8));
+        b.copy(x, Value::word(1));
+        b.if_begin(Value::bool(true));
+        b.copy(x, Value::word(2));
+        b.if_end();
+        b.copy(x, Value::word(3));
+        let f = b.finish();
+        // Expect: pre-block, then-block, post-block.
+        assert_eq!(f.block_count(), 3);
+    }
+}

@@ -1,0 +1,333 @@
+//! Flattened control-flow graph derived from the HTG.
+//!
+//! Scheduling with operation chaining across conditional boundaries needs to
+//! enumerate all *trails* — acyclic backward paths of basic blocks — leading
+//! into a block (Section 3.1.1 of the paper). The HTG is hierarchical, so we
+//! flatten it into a conventional CFG on demand. Compound structure with
+//! empty branches introduces *virtual* nodes so that every `if` still has two
+//! distinct paths.
+
+use std::collections::BTreeMap;
+
+use crate::block::BlockId;
+use crate::function::Function;
+use crate::htg::{HtgNode, RegionId};
+
+/// The payload of a CFG node.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CfgNodeKind {
+    /// A real basic block of the function.
+    Block(BlockId),
+    /// A synthetic node (function entry, empty branch, join point).
+    Virtual(&'static str),
+}
+
+/// A node of the flattened control-flow graph.
+#[derive(Clone, Debug)]
+pub struct CfgNode {
+    /// What this node represents.
+    pub kind: CfgNodeKind,
+    /// Predecessor node indices.
+    pub preds: Vec<usize>,
+    /// Successor node indices.
+    pub succs: Vec<usize>,
+}
+
+/// A flattened control-flow graph for one function.
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    nodes: Vec<CfgNode>,
+    entry: usize,
+    exit: usize,
+    block_index: BTreeMap<BlockId, usize>,
+}
+
+impl Cfg {
+    /// Builds the CFG of `function`'s body.
+    pub fn build(function: &Function) -> Self {
+        let mut cfg = Cfg {
+            nodes: Vec::new(),
+            entry: 0,
+            exit: 0,
+            block_index: BTreeMap::new(),
+        };
+        cfg.entry = cfg.add_node(CfgNodeKind::Virtual("entry"));
+        let (first, last) = cfg.lower_region(function, function.body, cfg.entry);
+        cfg.exit = cfg.add_node(CfgNodeKind::Virtual("exit"));
+        // `first` is already connected from entry inside lower_region; connect
+        // the last frontier to exit.
+        let _ = first;
+        cfg.connect(last, cfg.exit);
+        cfg
+    }
+
+    fn add_node(&mut self, kind: CfgNodeKind) -> usize {
+        let idx = self.nodes.len();
+        if let CfgNodeKind::Block(b) = kind {
+            self.block_index.insert(b, idx);
+        }
+        self.nodes.push(CfgNode { kind, preds: Vec::new(), succs: Vec::new() });
+        idx
+    }
+
+    fn add_edge(&mut self, from: usize, to: usize) {
+        if !self.nodes[from].succs.contains(&to) {
+            self.nodes[from].succs.push(to);
+        }
+        if !self.nodes[to].preds.contains(&from) {
+            self.nodes[to].preds.push(from);
+        }
+    }
+
+    fn connect(&mut self, froms: Vec<usize>, to: usize) {
+        for from in froms {
+            self.add_edge(from, to);
+        }
+    }
+
+    /// Lowers `region`, connecting its first node(s) from `pred`. Returns the
+    /// set of node indices that fall through out of the region (its exits)
+    /// as `(entry_index, exits)`; for empty regions the entry is `pred` and
+    /// the exits are `[pred]`.
+    fn lower_region(&mut self, function: &Function, region: RegionId, pred: usize) -> (usize, Vec<usize>) {
+        let mut frontier = vec![pred];
+        let mut first = pred;
+        let mut first_set = false;
+        for &node in &function.regions[region].nodes {
+            let (node_entry, node_exits) = match &function.nodes[node] {
+                HtgNode::Block(b) => {
+                    let idx = self.add_node(CfgNodeKind::Block(*b));
+                    self.connect(frontier.clone(), idx);
+                    (idx, vec![idx])
+                }
+                HtgNode::If(i) => {
+                    // Both branches fork from the current frontier and meet at
+                    // a join node.
+                    let join = self.add_node(CfgNodeKind::Virtual("join"));
+                    let fork = if frontier.len() == 1 {
+                        frontier[0]
+                    } else {
+                        let fork = self.add_node(CfgNodeKind::Virtual("fork"));
+                        self.connect(frontier.clone(), fork);
+                        fork
+                    };
+                    let (then_entry, then_exits) = self.lower_region(function, i.then_region, fork);
+                    let (else_entry, else_exits) = self.lower_region(function, i.else_region, fork);
+                    self.connect(then_exits, join);
+                    self.connect(else_exits, join);
+                    let entry = if then_entry != fork { then_entry } else { else_entry };
+                    (entry, vec![join])
+                }
+                HtgNode::Loop(l) => {
+                    let head = self.add_node(CfgNodeKind::Virtual("loop_head"));
+                    self.connect(frontier.clone(), head);
+                    let (_, body_exits) = self.lower_region(function, l.body, head);
+                    // Back edge and fall-through.
+                    let tail = self.add_node(CfgNodeKind::Virtual("loop_tail"));
+                    self.connect(body_exits, tail);
+                    self.add_edge(tail, head);
+                    (head, vec![head, tail])
+                }
+            };
+            if !first_set {
+                first = node_entry;
+                first_set = true;
+            }
+            frontier = node_exits;
+        }
+        (first, frontier)
+    }
+
+    /// Number of nodes (including virtual nodes).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` if the CFG has no nodes (never the case after `build`).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// All real basic blocks in the CFG, in construction (roughly program) order.
+    pub fn blocks(&self) -> Vec<BlockId> {
+        self.nodes
+            .iter()
+            .filter_map(|n| match n.kind {
+                CfgNodeKind::Block(b) => Some(b),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Immediate predecessor *blocks* of `block`, looking through virtual nodes.
+    pub fn pred_blocks(&self, block: BlockId) -> Vec<BlockId> {
+        let Some(&idx) = self.block_index.get(&block) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        let mut stack: Vec<usize> = self.nodes[idx].preds.clone();
+        let mut seen = vec![false; self.nodes.len()];
+        while let Some(n) = stack.pop() {
+            if seen[n] {
+                continue;
+            }
+            seen[n] = true;
+            match self.nodes[n].kind {
+                CfgNodeKind::Block(b) => out.push(b),
+                CfgNodeKind::Virtual(_) => stack.extend(self.nodes[n].preds.iter().copied()),
+            }
+        }
+        out
+    }
+
+    /// All acyclic backward trails from `block` to the function entry.
+    ///
+    /// Each trail starts with `block` itself and lists basic blocks in
+    /// backward order, exactly as in the paper's example
+    /// `<BB8, BB7, BB5, BB3, BB2, BB1>`. Virtual nodes are traversed but not
+    /// recorded. At most `limit` trails are returned (the ILD after full
+    /// unrolling has no conditionals nested deeply enough to explode, but the
+    /// guard keeps pathological inputs bounded).
+    pub fn backward_trails(&self, block: BlockId, limit: usize) -> Vec<Vec<BlockId>> {
+        let Some(&start) = self.block_index.get(&block) else {
+            return Vec::new();
+        };
+        let mut trails = Vec::new();
+        let mut current = vec![block];
+        let mut on_path = vec![false; self.nodes.len()];
+        self.trails_rec(start, &mut current, &mut on_path, &mut trails, limit);
+        trails
+    }
+
+    fn trails_rec(
+        &self,
+        node: usize,
+        current: &mut Vec<BlockId>,
+        on_path: &mut [bool],
+        trails: &mut Vec<Vec<BlockId>>,
+        limit: usize,
+    ) {
+        if trails.len() >= limit {
+            return;
+        }
+        if node == self.entry || self.nodes[node].preds.is_empty() {
+            trails.push(current.clone());
+            return;
+        }
+        on_path[node] = true;
+        for &pred in &self.nodes[node].preds {
+            if on_path[pred] {
+                continue; // skip back edges: trails are acyclic
+            }
+            match self.nodes[pred].kind {
+                CfgNodeKind::Block(b) => {
+                    current.push(b);
+                    self.trails_rec(pred, current, on_path, trails, limit);
+                    current.pop();
+                }
+                CfgNodeKind::Virtual(_) => {
+                    self.trails_rec(pred, current, on_path, trails, limit);
+                }
+            }
+        }
+        on_path[node] = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::op::OpKind;
+    use crate::types::Type;
+    use crate::value::Value;
+
+    /// Builds the structure of Figure 5: two sequential if-nodes (the second
+    /// nested if inside the first's then-branch in the paper is simplified to
+    /// the same trail count) followed by a reader block.
+    fn nested_ifs() -> Function {
+        let mut b = FunctionBuilder::new("fig5");
+        let cond1 = b.param("cond1", Type::Bool);
+        let cond2 = b.param("cond2", Type::Bool);
+        let a = b.param("a", Type::Bits(8));
+        let bb = b.param("b", Type::Bits(8));
+        let c = b.param("c", Type::Bits(8));
+        let d = b.param("d", Type::Bits(8));
+        let o1 = b.var("o1", Type::Bits(8));
+        let o2 = b.var("o2", Type::Bits(8));
+        b.if_begin(Value::Var(cond1));
+        b.if_begin(Value::Var(cond2));
+        b.copy(o1, Value::Var(a)); // op 1
+        b.else_begin();
+        b.copy(o1, Value::Var(bb)); // op 2
+        b.if_end();
+        b.else_begin();
+        b.copy(o1, Value::Var(c)); // op 3
+        b.if_end();
+        b.assign(OpKind::Add, o2, vec![Value::Var(o1), Value::Var(d)]); // op 4
+        b.finish()
+    }
+
+    #[test]
+    fn three_trails_reach_the_reader_block() {
+        let f = nested_ifs();
+        let cfg = Cfg::build(&f);
+        // The reader block is the last block in program order.
+        let blocks = f.blocks_in_region(f.body);
+        let reader = *blocks.last().unwrap();
+        let trails = cfg.backward_trails(reader, 64);
+        assert_eq!(trails.len(), 3, "paper Figure 5 describes exactly three trails");
+        for trail in &trails {
+            assert_eq!(trail[0], reader, "trails start at the block itself");
+        }
+    }
+
+    #[test]
+    fn straight_line_has_single_trail() {
+        let mut b = FunctionBuilder::new("line");
+        let x = b.var("x", Type::Bits(8));
+        b.copy(x, Value::word(1));
+        let f = b.finish();
+        let cfg = Cfg::build(&f);
+        let blocks = cfg.blocks();
+        assert_eq!(blocks.len(), 1);
+        let trails = cfg.backward_trails(blocks[0], 16);
+        assert_eq!(trails.len(), 1);
+        assert_eq!(trails[0], vec![blocks[0]]);
+    }
+
+    #[test]
+    fn pred_blocks_skip_virtual_nodes() {
+        let f = nested_ifs();
+        let cfg = Cfg::build(&f);
+        let blocks = f.blocks_in_region(f.body);
+        let reader = *blocks.last().unwrap();
+        let preds = cfg.pred_blocks(reader);
+        // Predecessors are the three assignment blocks (through join nodes).
+        assert_eq!(preds.len(), 3);
+    }
+
+    #[test]
+    fn loop_back_edges_do_not_create_cyclic_trails() {
+        let mut b = FunctionBuilder::new("loop");
+        let i = b.var("i", Type::Bits(32));
+        let acc = b.var("acc", Type::Bits(32));
+        b.for_begin(i, 1, Value::word(4), 1);
+        b.assign(OpKind::Add, acc, vec![Value::Var(acc), Value::Var(i)]);
+        b.loop_end();
+        b.copy(acc, Value::Var(acc));
+        let f = b.finish();
+        let cfg = Cfg::build(&f);
+        let blocks = f.blocks_in_region(f.body);
+        let last = *blocks.last().unwrap();
+        let trails = cfg.backward_trails(last, 64);
+        assert!(!trails.is_empty());
+        for trail in trails {
+            // No block repeats within a trail.
+            let mut sorted = trail.clone();
+            sorted.sort();
+            sorted.dedup();
+            assert_eq!(sorted.len(), trail.len());
+        }
+    }
+}

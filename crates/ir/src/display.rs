@@ -1,0 +1,158 @@
+//! Human-readable dump of functions, modelled on the pseudo-code listings of
+//! the paper (Figures 10–15).
+
+use std::fmt;
+
+use crate::function::Function;
+use crate::htg::{HtgNode, LoopKind, RegionId};
+use crate::op::{OpKind, Operation};
+use crate::value::Value;
+
+impl Function {
+    fn fmt_value(&self, value: Value) -> String {
+        match value {
+            Value::Var(v) => self.vars[v].name.clone(),
+            Value::Const(c) => c.to_string(),
+        }
+    }
+
+    fn fmt_op(&self, op: &Operation) -> String {
+        let dest = op.dest.map(|d| self.vars[d].name.clone());
+        let args: Vec<String> = op.args.iter().map(|&a| self.fmt_value(a)).collect();
+        let spec = if op.speculative { " /*spec*/" } else { "" };
+        let body = match &op.kind {
+            OpKind::Add => format!("{} + {}", args[0], args[1]),
+            OpKind::Sub => format!("{} - {}", args[0], args[1]),
+            OpKind::Mul => format!("{} * {}", args[0], args[1]),
+            OpKind::And => format!("{} & {}", args[0], args[1]),
+            OpKind::Or => format!("{} | {}", args[0], args[1]),
+            OpKind::Xor => format!("{} ^ {}", args[0], args[1]),
+            OpKind::Not => format!("~{}", args[0]),
+            OpKind::Shl => format!("{} << {}", args[0], args[1]),
+            OpKind::Shr => format!("{} >> {}", args[0], args[1]),
+            OpKind::Eq => format!("{} == {}", args[0], args[1]),
+            OpKind::Ne => format!("{} != {}", args[0], args[1]),
+            OpKind::Lt => format!("{} < {}", args[0], args[1]),
+            OpKind::Le => format!("{} <= {}", args[0], args[1]),
+            OpKind::Gt => format!("{} > {}", args[0], args[1]),
+            OpKind::Ge => format!("{} >= {}", args[0], args[1]),
+            OpKind::Copy => args[0].clone(),
+            OpKind::Select => format!("{} ? {} : {}", args[0], args[1], args[2]),
+            OpKind::Slice { hi, lo } => format!("{}[{hi}:{lo}]", args[0]),
+            OpKind::Concat => format!("{{{}, {}}}", args[0], args[1]),
+            OpKind::ArrayRead { array } => format!("{}[{}]", self.vars[*array].name, args[0]),
+            OpKind::ArrayWrite { array } => {
+                return format!("{}[{}] = {}{spec};", self.vars[*array].name, args[0], args[1]);
+            }
+            OpKind::Call { callee } => format!("{callee}({})", args.join(", ")),
+            OpKind::Return => return format!("return {}{spec};", args[0]),
+        };
+        match dest {
+            Some(d) => format!("{d} = {body}{spec};"),
+            None => format!("{body}{spec};"),
+        }
+    }
+
+    fn fmt_region(&self, f: &mut fmt::Formatter<'_>, region: RegionId, indent: usize) -> fmt::Result {
+        let pad = "  ".repeat(indent);
+        for &node in &self.regions[region].nodes {
+            match &self.nodes[node] {
+                HtgNode::Block(b) => {
+                    let block = &self.blocks[*b];
+                    writeln!(f, "{pad}// {}", block.label)?;
+                    for &op in &block.ops {
+                        if self.ops[op].dead {
+                            continue;
+                        }
+                        writeln!(f, "{pad}{}", self.fmt_op(&self.ops[op]))?;
+                    }
+                }
+                HtgNode::If(i) => {
+                    writeln!(f, "{pad}if ({}) {{", self.fmt_value(i.cond))?;
+                    self.fmt_region(f, i.then_region, indent + 1)?;
+                    if !self.regions[i.else_region].is_empty() {
+                        writeln!(f, "{pad}}} else {{")?;
+                        self.fmt_region(f, i.else_region, indent + 1)?;
+                    }
+                    writeln!(f, "{pad}}}")?;
+                }
+                HtgNode::Loop(l) => {
+                    match &l.kind {
+                        LoopKind::For { index, start, end, step } => {
+                            writeln!(
+                                f,
+                                "{pad}for ({name} = {start}; {name} <= {end}; {name} += {step}) {{",
+                                name = self.vars[*index].name,
+                                start = start,
+                                end = self.fmt_value(*end),
+                                step = step
+                            )?;
+                        }
+                        LoopKind::While { cond } => {
+                            writeln!(f, "{pad}while ({}) {{", self.fmt_value(*cond))?;
+                        }
+                    }
+                    self.fmt_region(f, l.body, indent + 1)?;
+                    writeln!(f, "{pad}}}")?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Function {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let params: Vec<String> = self
+            .params
+            .iter()
+            .map(|&p| format!("{}", self.vars[p]))
+            .collect();
+        writeln!(f, "function {}({}) {{", self.name, params.join(", "))?;
+        self.fmt_region(f, self.body, 1)?;
+        writeln!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::FunctionBuilder;
+    use crate::op::OpKind;
+    use crate::types::Type;
+    use crate::value::Value;
+
+    #[test]
+    fn printed_form_resembles_source() {
+        let mut b = FunctionBuilder::new("calc");
+        let a = b.param("a", Type::Bits(8));
+        let c = b.param("cond", Type::Bool);
+        let x = b.var("x", Type::Bits(8));
+        b.if_begin(Value::Var(c));
+        b.assign(OpKind::Add, x, vec![Value::Var(a), Value::word(1)]);
+        b.else_begin();
+        b.assign(OpKind::Sub, x, vec![Value::Var(a), Value::word(1)]);
+        b.if_end();
+        b.ret(Value::Var(x));
+        let f = b.finish();
+        let text = f.to_string();
+        assert!(text.contains("function calc"));
+        assert!(text.contains("if (cond) {"));
+        assert!(text.contains("x = a + 1;"));
+        assert!(text.contains("} else {"));
+        assert!(text.contains("return x;"));
+    }
+
+    #[test]
+    fn loops_and_arrays_print() {
+        let mut b = FunctionBuilder::new("loop");
+        let i = b.var("i", Type::Bits(32));
+        let mark = b.output_array("Mark", Type::Bool, 8);
+        b.for_begin(i, 1, Value::word(8), 1);
+        b.array_write(mark, Value::Var(i), Value::bool(true));
+        b.loop_end();
+        let f = b.finish();
+        let text = f.to_string();
+        assert!(text.contains("for (i = 1; i <= 8; i += 1) {"));
+        assert!(text.contains("Mark[i] = true;"));
+    }
+}

@@ -1,0 +1,546 @@
+//! Behavioral functions: the unit of synthesis.
+
+use std::collections::BTreeMap;
+
+use crate::arena::Arena;
+use crate::block::{BasicBlock, BlockId};
+use crate::htg::{HtgNode, IfNode, LoopKind, LoopNode, NodeId, Region, RegionId};
+use crate::op::{OpId, OpKind, Operation};
+use crate::types::Type;
+use crate::value::Value;
+use crate::var::{PortDirection, Var, VarId};
+
+/// A behavioral function: parameters, variables, operations and a
+/// hierarchical task graph describing its control structure.
+///
+/// A function is the unit on which transformations, scheduling, binding and
+/// RTL generation operate. The top-level function of a
+/// [`Program`](crate::Program) describes the synthesized block; other
+/// functions (such as the ILD's `CalculateLength`) are callees that inlining
+/// folds into their callers.
+#[derive(Clone, Debug)]
+pub struct Function {
+    /// Function name, unique within its program.
+    pub name: String,
+    /// Parameter variables in declaration order.
+    pub params: Vec<VarId>,
+    /// Declared return type, if the function returns a value.
+    pub return_type: Option<Type>,
+    /// All variables (parameters, locals, temporaries, arrays).
+    pub vars: Arena<Var>,
+    /// All operations, live and dead.
+    pub ops: Arena<Operation>,
+    /// All basic blocks.
+    pub blocks: Arena<BasicBlock>,
+    /// All HTG nodes.
+    pub nodes: Arena<HtgNode>,
+    /// All regions.
+    pub regions: Arena<Region>,
+    /// The top-level region: the function body.
+    pub body: RegionId,
+    /// Counter used to generate unique temporary names.
+    next_temp: u32,
+}
+
+impl Function {
+    /// Creates an empty function with an empty body region.
+    pub fn new(name: impl Into<String>) -> Self {
+        let mut regions = Arena::new();
+        let body = regions.alloc(Region::new());
+        Function {
+            name: name.into(),
+            params: Vec::new(),
+            return_type: None,
+            vars: Arena::new(),
+            ops: Arena::new(),
+            blocks: Arena::new(),
+            nodes: Arena::new(),
+            regions,
+            body,
+            next_temp: 0,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Entity creation
+    // ------------------------------------------------------------------
+
+    /// Declares a variable and returns its id.
+    pub fn add_var(&mut self, var: Var) -> VarId {
+        self.vars.alloc(var)
+    }
+
+    /// Declares a parameter variable. Parameters default to primary inputs.
+    pub fn add_param(&mut self, mut var: Var) -> VarId {
+        if var.direction == PortDirection::Internal {
+            var.direction = PortDirection::Input;
+        }
+        let id = self.vars.alloc(var);
+        self.params.push(id);
+        id
+    }
+
+    /// Creates a fresh uniquely-named register temporary of type `ty`.
+    pub fn fresh_temp(&mut self, prefix: &str, ty: Type) -> VarId {
+        let name = format!("{prefix}_{}", self.next_temp);
+        self.next_temp += 1;
+        self.add_var(Var::register(name, ty))
+    }
+
+    /// Creates a fresh uniquely-named wire-variable of type `ty`.
+    pub fn fresh_wire(&mut self, prefix: &str, ty: Type) -> VarId {
+        let name = format!("{prefix}_{}", self.next_temp);
+        self.next_temp += 1;
+        self.add_var(Var::wire(name, ty))
+    }
+
+    /// Creates an empty basic block.
+    pub fn add_block(&mut self, label: impl Into<String>) -> BlockId {
+        self.blocks.alloc(BasicBlock::new(label))
+    }
+
+    /// Creates an empty region.
+    pub fn add_region(&mut self) -> RegionId {
+        self.regions.alloc(Region::new())
+    }
+
+    /// Creates an operation (not yet placed into any block).
+    pub fn add_op(&mut self, kind: OpKind, dest: Option<VarId>, args: Vec<Value>) -> OpId {
+        self.ops.alloc(Operation::new(kind, dest, args))
+    }
+
+    /// Creates an operation and appends it to `block`.
+    pub fn push_op(
+        &mut self,
+        block: BlockId,
+        kind: OpKind,
+        dest: Option<VarId>,
+        args: Vec<Value>,
+    ) -> OpId {
+        let op = self.add_op(kind, dest, args);
+        self.blocks[block].push(op);
+        op
+    }
+
+    /// Wraps a basic block into a leaf HTG node.
+    pub fn add_block_node(&mut self, block: BlockId) -> NodeId {
+        self.nodes.alloc(HtgNode::Block(block))
+    }
+
+    /// Creates an `if` HTG node.
+    pub fn add_if_node(&mut self, cond: Value, then_region: RegionId, else_region: RegionId) -> NodeId {
+        self.nodes.alloc(HtgNode::If(IfNode { cond, then_region, else_region }))
+    }
+
+    /// Creates a loop HTG node.
+    pub fn add_loop_node(&mut self, kind: LoopKind, body: RegionId, trip_bound: Option<u64>) -> NodeId {
+        self.nodes.alloc(HtgNode::Loop(LoopNode { kind, body, trip_bound }))
+    }
+
+    /// Appends a node to a region.
+    pub fn region_push(&mut self, region: RegionId, node: NodeId) {
+        self.regions[region].nodes.push(node);
+    }
+
+    // ------------------------------------------------------------------
+    // Traversal
+    // ------------------------------------------------------------------
+
+    /// All basic blocks inside `region`, in execution order, recursing into
+    /// compound nodes (then-branch before else-branch, loop bodies inline).
+    pub fn blocks_in_region(&self, region: RegionId) -> Vec<BlockId> {
+        let mut out = Vec::new();
+        self.collect_blocks(region, &mut out);
+        out
+    }
+
+    fn collect_blocks(&self, region: RegionId, out: &mut Vec<BlockId>) {
+        for &node in &self.regions[region].nodes {
+            match &self.nodes[node] {
+                HtgNode::Block(b) => out.push(*b),
+                HtgNode::If(i) => {
+                    self.collect_blocks(i.then_region, out);
+                    self.collect_blocks(i.else_region, out);
+                }
+                HtgNode::Loop(l) => self.collect_blocks(l.body, out),
+            }
+        }
+    }
+
+    /// All live operations inside `region` in program order.
+    pub fn ops_in_region(&self, region: RegionId) -> Vec<OpId> {
+        self.blocks_in_region(region)
+            .into_iter()
+            .flat_map(|b| self.blocks[b].ops.iter().copied())
+            .filter(|&op| !self.ops[op].dead)
+            .collect()
+    }
+
+    /// All live operations of the function body in program order.
+    pub fn live_ops(&self) -> Vec<OpId> {
+        self.ops_in_region(self.body)
+    }
+
+    /// Number of live operations in the function body.
+    pub fn live_op_count(&self) -> usize {
+        self.live_ops().len()
+    }
+
+    /// Number of basic blocks reachable from the function body.
+    pub fn block_count(&self) -> usize {
+        self.blocks_in_region(self.body).len()
+    }
+
+    /// Maximum nesting depth of compound nodes in the body (a straight-line
+    /// function has depth 0).
+    pub fn nesting_depth(&self) -> usize {
+        self.region_depth(self.body)
+    }
+
+    fn region_depth(&self, region: RegionId) -> usize {
+        self.regions[region]
+            .nodes
+            .iter()
+            .map(|&node| match &self.nodes[node] {
+                HtgNode::Block(_) => 0,
+                HtgNode::If(i) => {
+                    1 + self.region_depth(i.then_region).max(self.region_depth(i.else_region))
+                }
+                HtgNode::Loop(l) => 1 + self.region_depth(l.body),
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Number of loop nodes reachable from the body.
+    pub fn loop_count(&self) -> usize {
+        fn walk(f: &Function, region: RegionId, count: &mut usize) {
+            for &node in &f.regions[region].nodes {
+                match &f.nodes[node] {
+                    HtgNode::Block(_) => {}
+                    HtgNode::If(i) => {
+                        walk(f, i.then_region, count);
+                        walk(f, i.else_region, count);
+                    }
+                    HtgNode::Loop(l) => {
+                        *count += 1;
+                        walk(f, l.body, count);
+                    }
+                }
+            }
+        }
+        let mut count = 0;
+        walk(self, self.body, &mut count);
+        count
+    }
+
+    /// Number of conditional (`if`) nodes reachable from the body.
+    pub fn if_count(&self) -> usize {
+        fn walk(f: &Function, region: RegionId, count: &mut usize) {
+            for &node in &f.regions[region].nodes {
+                match &f.nodes[node] {
+                    HtgNode::Block(_) => {}
+                    HtgNode::If(i) => {
+                        *count += 1;
+                        walk(f, i.then_region, count);
+                        walk(f, i.else_region, count);
+                    }
+                    HtgNode::Loop(l) => walk(f, l.body, count),
+                }
+            }
+        }
+        let mut count = 0;
+        walk(self, self.body, &mut count);
+        count
+    }
+
+    /// Looks up the block that contains `op`, if any (searching live blocks).
+    pub fn block_of(&self, op: OpId) -> Option<BlockId> {
+        self.blocks
+            .iter()
+            .find(|(_, bb)| bb.ops.contains(&op))
+            .map(|(id, _)| id)
+    }
+
+    /// Finds a variable by name (first match).
+    pub fn var_by_name(&self, name: &str) -> Option<VarId> {
+        self.vars.iter().find(|(_, v)| v.name == name).map(|(id, _)| id)
+    }
+
+    /// Primary output variables of the function.
+    pub fn outputs(&self) -> Vec<VarId> {
+        self.vars
+            .iter()
+            .filter(|(_, v)| v.direction == PortDirection::Output)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Primary input variables (parameters plus any input-marked variables).
+    pub fn inputs(&self) -> Vec<VarId> {
+        self.vars
+            .iter()
+            .filter(|(_, v)| v.direction == PortDirection::Input)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Mutation helpers used by transformations
+    // ------------------------------------------------------------------
+
+    /// Marks an operation dead and detaches it from its block.
+    pub fn kill_op(&mut self, op: OpId) {
+        self.ops[op].dead = true;
+        if let Some(block) = self.block_of(op) {
+            self.blocks[block].remove(op);
+        }
+    }
+
+    /// Replaces every use of variable `from` with `to` in all live operations
+    /// (operand positions only; destinations are untouched). Returns the
+    /// number of rewritten operands.
+    pub fn replace_uses(&mut self, from: VarId, to: Value) -> usize {
+        let mut count = 0;
+        for (_, op) in self.ops.iter_mut() {
+            if op.dead {
+                continue;
+            }
+            for arg in &mut op.args {
+                if *arg == Value::Var(from) {
+                    *arg = to;
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// Deep-clones `region` (its nodes, blocks and operations) applying the
+    /// variable substitution `var_map` to every operand, destination and loop
+    /// index. Variables not present in the map are shared with the original.
+    ///
+    /// Used by loop unrolling (each iteration body is a clone), inlining
+    /// (callee body cloned into the caller) and conditional speculation
+    /// (duplicating operations into both branches).
+    pub fn clone_region_mapped(
+        &mut self,
+        region: RegionId,
+        var_map: &BTreeMap<VarId, VarId>,
+    ) -> RegionId {
+        let map_var = |v: VarId, map: &BTreeMap<VarId, VarId>| *map.get(&v).unwrap_or(&v);
+        let map_val = |val: Value, map: &BTreeMap<VarId, VarId>| match val {
+            Value::Var(v) => Value::Var(map_var(v, map)),
+            c @ Value::Const(_) => c,
+        };
+
+        // Recursive clone. We gather the node list first to avoid holding a
+        // borrow of the region while allocating.
+        let nodes: Vec<NodeId> = self.regions[region].nodes.clone();
+        let new_region = self.add_region();
+        for node in nodes {
+            let cloned = match self.nodes[node].clone() {
+                HtgNode::Block(b) => {
+                    let label = format!("{}c", self.blocks[b].label);
+                    let new_block = self.add_block(label);
+                    let ops: Vec<OpId> = self.blocks[b].ops.clone();
+                    for op in ops {
+                        let original = self.ops[op].clone();
+                        if original.dead {
+                            continue;
+                        }
+                        let mut kind = original.kind.clone();
+                        match &mut kind {
+                            OpKind::ArrayRead { array } | OpKind::ArrayWrite { array } => {
+                                *array = map_var(*array, var_map);
+                            }
+                            _ => {}
+                        }
+                        let dest = original.dest.map(|d| map_var(d, var_map));
+                        let args = original.args.iter().map(|&a| map_val(a, var_map)).collect();
+                        let new_op = self.add_op(kind, dest, args);
+                        self.ops[new_op].speculative = original.speculative;
+                        self.blocks[new_block].push(new_op);
+                    }
+                    self.add_block_node(new_block)
+                }
+                HtgNode::If(i) => {
+                    let cond = map_val(i.cond, var_map);
+                    let then_region = self.clone_region_mapped(i.then_region, var_map);
+                    let else_region = self.clone_region_mapped(i.else_region, var_map);
+                    self.add_if_node(cond, then_region, else_region)
+                }
+                HtgNode::Loop(l) => {
+                    let kind = match l.kind {
+                        LoopKind::For { index, start, end, step } => LoopKind::For {
+                            index: map_var(index, var_map),
+                            start,
+                            end: map_val(end, var_map),
+                            step,
+                        },
+                        LoopKind::While { cond } => LoopKind::While { cond: map_val(cond, var_map) },
+                    };
+                    let body = self.clone_region_mapped(l.body, var_map);
+                    self.add_loop_node(kind, body, l.trip_bound)
+                }
+            };
+            self.region_push(new_region, cloned);
+        }
+        new_region
+    }
+
+    /// Removes empty basic blocks and empty `if` nodes from every region.
+    /// Returns the number of nodes removed.
+    pub fn prune_empty(&mut self) -> usize {
+        let mut removed = 0;
+        // Iterate to a fixed point: removing an inner node may empty a region.
+        loop {
+            let mut changed = 0;
+            let region_ids: Vec<RegionId> = self.regions.ids().collect();
+            for region in region_ids {
+                let nodes = self.regions[region].nodes.clone();
+                let mut kept = Vec::with_capacity(nodes.len());
+                for node in nodes {
+                    let keep = match &self.nodes[node] {
+                        HtgNode::Block(b) => self.blocks[*b]
+                            .ops
+                            .iter()
+                            .any(|&op| !self.ops[op].dead),
+                        HtgNode::If(i) => {
+                            !(self.regions[i.then_region].is_empty()
+                                && self.regions[i.else_region].is_empty())
+                        }
+                        HtgNode::Loop(l) => !self.regions[l.body].is_empty(),
+                    };
+                    if keep {
+                        kept.push(node);
+                    } else {
+                        changed += 1;
+                    }
+                }
+                self.regions[region].nodes = kept;
+            }
+            removed += changed;
+            if changed == 0 {
+                break;
+            }
+        }
+        removed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Constant;
+
+    fn sample_function() -> (Function, VarId, VarId, VarId) {
+        // if (c) { x = a + 1 } else { x = a - 1 }
+        let mut f = Function::new("sample");
+        let a = f.add_param(Var::register("a", Type::Bits(8)));
+        let c = f.add_param(Var::register("c", Type::Bool));
+        let x = f.add_var(Var::register("x", Type::Bits(8)));
+
+        let then_bb = f.add_block("then");
+        f.push_op(then_bb, OpKind::Add, Some(x), vec![Value::Var(a), Value::word(1)]);
+        let then_region = f.add_region();
+        let then_node = f.add_block_node(then_bb);
+        f.region_push(then_region, then_node);
+
+        let else_bb = f.add_block("else");
+        f.push_op(else_bb, OpKind::Sub, Some(x), vec![Value::Var(a), Value::word(1)]);
+        let else_region = f.add_region();
+        let else_node = f.add_block_node(else_bb);
+        f.region_push(else_region, else_node);
+
+        let if_node = f.add_if_node(Value::Var(c), then_region, else_region);
+        let body = f.body;
+        f.region_push(body, if_node);
+        (f, a, c, x)
+    }
+
+    #[test]
+    fn traversal_counts() {
+        let (f, ..) = sample_function();
+        assert_eq!(f.live_op_count(), 2);
+        assert_eq!(f.block_count(), 2);
+        assert_eq!(f.if_count(), 1);
+        assert_eq!(f.loop_count(), 0);
+        assert_eq!(f.nesting_depth(), 1);
+    }
+
+    #[test]
+    fn kill_op_detaches_and_marks_dead() {
+        let (mut f, ..) = sample_function();
+        let op = f.live_ops()[0];
+        f.kill_op(op);
+        assert_eq!(f.live_op_count(), 1);
+        assert!(f.ops[op].dead);
+        assert!(f.block_of(op).is_none());
+    }
+
+    #[test]
+    fn replace_uses_rewrites_operands() {
+        let (mut f, a, _, _) = sample_function();
+        let n = f.replace_uses(a, Value::Const(Constant::word(7)));
+        assert_eq!(n, 2);
+        for op in f.live_ops() {
+            assert_eq!(f.ops[op].args[0], Value::word(7));
+        }
+    }
+
+    #[test]
+    fn clone_region_with_substitution() {
+        let (mut f, a, _, x) = sample_function();
+        let x2 = f.add_var(Var::register("x2", Type::Bits(8)));
+        let mut map = BTreeMap::new();
+        map.insert(x, x2);
+        let body = f.body;
+        let cloned = f.clone_region_mapped(body, &map);
+        // The clone has the same structure.
+        assert_eq!(f.ops_in_region(cloned).len(), 2);
+        // Destinations were remapped, operands that were not in the map are shared.
+        for op in f.ops_in_region(cloned) {
+            assert_eq!(f.ops[op].dest, Some(x2));
+            assert_eq!(f.ops[op].args[0], Value::Var(a));
+        }
+        // The original is untouched.
+        for op in f.ops_in_region(body) {
+            assert_eq!(f.ops[op].dest, Some(x));
+        }
+    }
+
+    #[test]
+    fn prune_empty_removes_hollow_structure() {
+        let mut f = Function::new("empty");
+        let bb = f.add_block("BB0");
+        let node = f.add_block_node(bb);
+        let body = f.body;
+        f.region_push(body, node);
+        let empty_then = f.add_region();
+        let empty_else = f.add_region();
+        let if_node = f.add_if_node(Value::bool(true), empty_then, empty_else);
+        f.region_push(body, if_node);
+        let removed = f.prune_empty();
+        assert_eq!(removed, 2);
+        assert!(f.regions[f.body].is_empty());
+    }
+
+    #[test]
+    fn fresh_names_are_unique() {
+        let mut f = Function::new("t");
+        let a = f.fresh_temp("tmp", Type::Bits(8));
+        let b = f.fresh_wire("tmp", Type::Bits(8));
+        assert_ne!(f.vars[a].name, f.vars[b].name);
+        assert!(f.vars[b].is_wire());
+    }
+
+    #[test]
+    fn outputs_and_inputs() {
+        let mut f = Function::new("io");
+        let i = f.add_param(Var::array("buf", Type::Bits(8), 4));
+        let o = f.add_var(Var::array("mark", Type::Bool, 4).as_output());
+        assert_eq!(f.inputs(), vec![i]);
+        assert_eq!(f.outputs(), vec![o]);
+    }
+}

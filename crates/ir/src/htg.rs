@@ -1,0 +1,184 @@
+//! The hierarchical task graph (HTG).
+//!
+//! Spark represents a behavioral description as a hierarchy of compound
+//! nodes: basic blocks at the leaves, `if-then-else` nodes and loop nodes as
+//! compound interior nodes, grouped into *regions* (ordered sequences of
+//! nodes). Code motions such as speculation and Trailblazing move operations
+//! across compound nodes without having to visit every basic block inside
+//! them, and loop transformations (unrolling) operate on whole loop nodes.
+
+use crate::arena::Id;
+use crate::block::BlockId;
+use crate::value::{Constant, Value};
+use crate::var::VarId;
+
+/// Typed id of an [`HtgNode`].
+pub type NodeId = Id<HtgNode>;
+/// Typed id of a [`Region`].
+pub type RegionId = Id<Region>;
+
+/// An ordered sequence of HTG nodes executed one after another.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Region {
+    /// Nodes in execution order.
+    pub nodes: Vec<NodeId>,
+}
+
+impl Region {
+    /// Creates an empty region.
+    pub fn new() -> Self {
+        Region::default()
+    }
+
+    /// Returns `true` if the region contains no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+/// An `if-then-else` compound node.
+///
+/// The condition is a value (usually a boolean variable computed by an
+/// earlier comparison); the two branches are regions. An empty else region
+/// models a plain `if`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct IfNode {
+    /// Branch condition.
+    pub cond: Value,
+    /// Region executed when the condition is true.
+    pub then_region: RegionId,
+    /// Region executed when the condition is false (possibly empty).
+    pub else_region: RegionId,
+}
+
+/// The iteration scheme of a loop node.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LoopKind {
+    /// `for (index = start; index <= end; index += step)` — the form used by
+    /// the ILD byte loop (Figure 10). `end` may be a constant or a variable;
+    /// full unrolling requires it to be (or to become) a constant.
+    For {
+        /// Loop index variable.
+        index: VarId,
+        /// Initial value of the index.
+        start: Constant,
+        /// Inclusive upper bound.
+        end: Value,
+        /// Increment applied after each iteration (must be non-zero).
+        step: i64,
+    },
+    /// `while (cond)` — used for the natural `while(1)` description of
+    /// Figure 16. `cond` is evaluated at the loop head.
+    While {
+        /// Continuation condition (a constant `true` models `while(1)`).
+        cond: Value,
+    },
+}
+
+/// A loop compound node.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LoopNode {
+    /// Iteration scheme.
+    pub kind: LoopKind,
+    /// Loop body region.
+    pub body: RegionId,
+    /// Optional designer-supplied bound on the number of iterations, used by
+    /// loop unrolling when the bound cannot be derived from `kind` (e.g. for
+    /// `while(1)` loops over a finite buffer).
+    pub trip_bound: Option<u64>,
+}
+
+/// A node of the hierarchical task graph.
+#[derive(Clone, Debug, PartialEq)]
+pub enum HtgNode {
+    /// A leaf basic block.
+    Block(BlockId),
+    /// An `if-then-else` compound node.
+    If(IfNode),
+    /// A loop compound node.
+    Loop(LoopNode),
+}
+
+impl HtgNode {
+    /// Returns the block id if this node is a leaf basic block.
+    pub fn as_block(&self) -> Option<BlockId> {
+        match self {
+            HtgNode::Block(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Returns the if-node payload if this is a conditional node.
+    pub fn as_if(&self) -> Option<&IfNode> {
+        match self {
+            HtgNode::If(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// Returns the loop payload if this is a loop node.
+    pub fn as_loop(&self) -> Option<&LoopNode> {
+        match self {
+            HtgNode::Loop(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` for compound (non-leaf) nodes.
+    pub fn is_compound(&self) -> bool {
+        !matches!(self, HtgNode::Block(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Type;
+
+    #[test]
+    fn node_accessors() {
+        let block = HtgNode::Block(BlockId::from_raw(0));
+        assert_eq!(block.as_block(), Some(BlockId::from_raw(0)));
+        assert!(block.as_if().is_none());
+        assert!(!block.is_compound());
+
+        let if_node = HtgNode::If(IfNode {
+            cond: Value::bool(true),
+            then_region: RegionId::from_raw(0),
+            else_region: RegionId::from_raw(1),
+        });
+        assert!(if_node.as_if().is_some());
+        assert!(if_node.is_compound());
+        assert!(if_node.as_block().is_none());
+
+        let loop_node = HtgNode::Loop(LoopNode {
+            kind: LoopKind::While { cond: Value::bool(true) },
+            body: RegionId::from_raw(2),
+            trip_bound: Some(8),
+        });
+        assert!(loop_node.as_loop().is_some());
+        assert!(loop_node.is_compound());
+    }
+
+    #[test]
+    fn for_loop_kind_carries_bounds() {
+        let kind = LoopKind::For {
+            index: VarId::from_raw(0),
+            start: Constant::new(1, Type::Bits(32)),
+            end: Value::word(16),
+            step: 1,
+        };
+        match kind {
+            LoopKind::For { start, step, .. } => {
+                assert_eq!(start.value(), 1);
+                assert_eq!(step, 1);
+            }
+            _ => panic!("expected for loop"),
+        }
+    }
+
+    #[test]
+    fn region_default_is_empty() {
+        assert!(Region::new().is_empty());
+    }
+}

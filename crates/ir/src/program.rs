@@ -1,0 +1,79 @@
+//! Programs: collections of behavioral functions.
+
+use crate::function::Function;
+use std::fmt;
+
+/// A whole behavioral description: one or more functions, one of which is the
+/// top-level block to synthesize (by convention the first, or the one named
+/// explicitly when driving the pipeline).
+#[derive(Clone, Debug, Default)]
+pub struct Program {
+    /// Functions in declaration order.
+    pub functions: Vec<Function>,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new() -> Self {
+        Program::default()
+    }
+
+    /// Adds a function and returns its index.
+    pub fn add_function(&mut self, function: Function) -> usize {
+        self.functions.push(function);
+        self.functions.len() - 1
+    }
+
+    /// Looks up a function by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+
+    /// Looks up a function by name, mutably.
+    pub fn function_mut(&mut self, name: &str) -> Option<&mut Function> {
+        self.functions.iter_mut().find(|f| f.name == name)
+    }
+
+    /// Returns the index of a function by name.
+    pub fn function_index(&self, name: &str) -> Option<usize> {
+        self.functions.iter().position(|f| f.name == name)
+    }
+
+    /// Total number of live operations across all functions.
+    pub fn total_live_ops(&self) -> usize {
+        self.functions.iter().map(|f| f.live_op_count()).sum()
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for func in &self.functions {
+            writeln!(f, "{func}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_lookup() {
+        let mut p = Program::new();
+        p.add_function(Function::new("main"));
+        p.add_function(Function::new("helper"));
+        assert!(p.function("main").is_some());
+        assert!(p.function("missing").is_none());
+        assert_eq!(p.function_index("helper"), Some(1));
+        assert_eq!(p.total_live_ops(), 0);
+    }
+
+    #[test]
+    fn function_mut_allows_edits() {
+        let mut p = Program::new();
+        p.add_function(Function::new("main"));
+        p.function_mut("main").unwrap().name = "renamed".to_string();
+        assert!(p.function("renamed").is_some());
+    }
+}

@@ -1,0 +1,89 @@
+//! Data types carried by variables and values.
+//!
+//! Spark operates on C integer types and maps them to bit-vectors in the
+//! generated RTL. We keep the model minimal: booleans (conditions), unsigned
+//! bit-vectors of a known width, and fixed-size arrays of bit-vectors (the
+//! instruction buffer and the `Mark[]` output of the ILD).
+
+use std::fmt;
+
+/// The type of a scalar variable or constant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Type {
+    /// A single-bit condition value (`Need_2nd_Byte`, `cond`, ...).
+    Bool,
+    /// An unsigned bit-vector of the given width in bits (1..=64).
+    Bits(u16),
+}
+
+impl Type {
+    /// Width in bits of a value of this type.
+    ///
+    /// # Examples
+    /// ```
+    /// use spark_ir::Type;
+    /// assert_eq!(Type::Bool.width(), 1);
+    /// assert_eq!(Type::Bits(8).width(), 8);
+    /// ```
+    pub fn width(self) -> u16 {
+        match self {
+            Type::Bool => 1,
+            Type::Bits(w) => w,
+        }
+    }
+
+    /// Mask that keeps only the low `width()` bits of a `u64`.
+    pub fn mask(self) -> u64 {
+        let w = self.width();
+        if w >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << w) - 1
+        }
+    }
+
+    /// Returns `true` for [`Type::Bool`].
+    pub fn is_bool(self) -> bool {
+        matches!(self, Type::Bool)
+    }
+}
+
+impl Default for Type {
+    fn default() -> Self {
+        Type::Bits(32)
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Bool => write!(f, "bool"),
+            Type::Bits(w) => write!(f, "u{w}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths_and_masks() {
+        assert_eq!(Type::Bool.width(), 1);
+        assert_eq!(Type::Bool.mask(), 1);
+        assert_eq!(Type::Bits(4).mask(), 0xF);
+        assert_eq!(Type::Bits(64).mask(), u64::MAX);
+        assert_eq!(Type::Bits(32).mask(), 0xFFFF_FFFF);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Type::Bool.to_string(), "bool");
+        assert_eq!(Type::Bits(8).to_string(), "u8");
+    }
+
+    #[test]
+    fn default_is_word() {
+        assert_eq!(Type::default(), Type::Bits(32));
+    }
+}

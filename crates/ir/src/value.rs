@@ -1,0 +1,168 @@
+//! Values: operands of operations.
+//!
+//! An operand is either a reference to a variable or an immediate constant.
+//! After full loop unrolling and constant propagation (Figures 13–14 of the
+//! paper) most index operands become constants, which is precisely what frees
+//! the parallelizing code motions.
+
+use crate::types::Type;
+use crate::var::VarId;
+use std::fmt;
+
+/// A compile-time constant with an explicit width.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Constant {
+    /// The numeric value, already truncated to `ty.width()` bits.
+    value: u64,
+    /// The type (width) of the constant.
+    ty: Type,
+}
+
+impl Constant {
+    /// Creates a constant, truncating `value` to the width of `ty`.
+    ///
+    /// # Examples
+    /// ```
+    /// use spark_ir::{Constant, Type};
+    /// let c = Constant::new(0x1FF, Type::Bits(8));
+    /// assert_eq!(c.value(), 0xFF);
+    /// ```
+    pub fn new(value: u64, ty: Type) -> Self {
+        Constant { value: value & ty.mask(), ty }
+    }
+
+    /// A boolean constant.
+    pub fn bool(b: bool) -> Self {
+        Constant::new(b as u64, Type::Bool)
+    }
+
+    /// A 32-bit constant, the default integer width of the behavioral language.
+    pub fn word(value: u64) -> Self {
+        Constant::new(value, Type::Bits(32))
+    }
+
+    /// The numeric value (always `< 2^width`).
+    pub fn value(self) -> u64 {
+        self.value
+    }
+
+    /// The type of the constant.
+    pub fn ty(self) -> Type {
+        self.ty
+    }
+
+    /// Returns `true` if the constant is zero.
+    pub fn is_zero(self) -> bool {
+        self.value == 0
+    }
+
+    /// Interprets the constant as a boolean (non-zero is true).
+    pub fn as_bool(self) -> bool {
+        self.value != 0
+    }
+}
+
+impl fmt::Display for Constant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.ty {
+            Type::Bool => write!(f, "{}", if self.value != 0 { "true" } else { "false" }),
+            Type::Bits(_) => write!(f, "{}", self.value),
+        }
+    }
+}
+
+/// An operand of an operation: a variable read or an immediate constant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// The current contents of a variable.
+    Var(VarId),
+    /// An immediate constant.
+    Const(Constant),
+}
+
+impl Value {
+    /// Convenience constructor for an immediate of the default (32-bit) width.
+    pub fn word(value: u64) -> Self {
+        Value::Const(Constant::word(value))
+    }
+
+    /// Convenience constructor for a boolean immediate.
+    pub fn bool(b: bool) -> Self {
+        Value::Const(Constant::bool(b))
+    }
+
+    /// Returns the variable id if this is a variable read.
+    pub fn as_var(self) -> Option<VarId> {
+        match self {
+            Value::Var(v) => Some(v),
+            Value::Const(_) => None,
+        }
+    }
+
+    /// Returns the constant if this is an immediate.
+    pub fn as_const(self) -> Option<Constant> {
+        match self {
+            Value::Var(_) => None,
+            Value::Const(c) => Some(c),
+        }
+    }
+
+    /// Returns `true` if this operand is an immediate constant.
+    pub fn is_const(self) -> bool {
+        matches!(self, Value::Const(_))
+    }
+}
+
+impl From<VarId> for Value {
+    fn from(v: VarId) -> Self {
+        Value::Var(v)
+    }
+}
+
+impl From<Constant> for Value {
+    fn from(c: Constant) -> Self {
+        Value::Const(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_truncates_to_width() {
+        let c = Constant::new(300, Type::Bits(8));
+        assert_eq!(c.value(), 300 & 0xFF);
+        assert_eq!(c.ty(), Type::Bits(8));
+    }
+
+    #[test]
+    fn bool_constants() {
+        assert!(Constant::bool(true).as_bool());
+        assert!(!Constant::bool(false).as_bool());
+        assert!(Constant::bool(false).is_zero());
+        assert_eq!(Constant::bool(true).to_string(), "true");
+    }
+
+    #[test]
+    fn value_accessors() {
+        let v = Value::word(5);
+        assert!(v.is_const());
+        assert_eq!(v.as_const().unwrap().value(), 5);
+        assert!(v.as_var().is_none());
+
+        let var = VarId::from_raw(3);
+        let v = Value::Var(var);
+        assert_eq!(v.as_var(), Some(var));
+        assert!(v.as_const().is_none());
+    }
+
+    #[test]
+    fn conversions() {
+        let var = VarId::from_raw(0);
+        let v: Value = var.into();
+        assert_eq!(v, Value::Var(var));
+        let c: Value = Constant::word(9).into();
+        assert_eq!(c.as_const().unwrap().value(), 9);
+    }
+}

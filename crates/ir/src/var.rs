@@ -1,0 +1,178 @@
+//! Variables of a behavioral description.
+//!
+//! Spark initially assumes every variable maps to a virtual register; later,
+//! register binding (after a variable lifetime analysis) decides what is truly
+//! stored. *Wire-variables* (Section 3.1.2 of the paper) are explicitly marked
+//! as wires so they may be read in the same cycle they are written, enabling
+//! operation chaining across conditional boundaries.
+
+use crate::arena::Id;
+use crate::types::Type;
+use std::fmt;
+
+/// Typed id of a [`Var`] inside its owning function.
+pub type VarId = Id<Var>;
+
+/// How a variable is stored in the eventual hardware.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum StorageClass {
+    /// A virtual register: may be bound to a real register after lifetime
+    /// analysis. Reads observe the value written in a *previous* cycle.
+    Register,
+    /// A wire-variable: never registered; reads observe the value written in
+    /// the *same* cycle. Introduced by the chaining transformation.
+    Wire,
+    /// A fixed-size array of scalars (e.g. the instruction buffer or `Mark[]`).
+    Array {
+        /// Number of elements.
+        length: u32,
+    },
+}
+
+impl StorageClass {
+    /// Returns `true` for [`StorageClass::Wire`].
+    pub fn is_wire(self) -> bool {
+        matches!(self, StorageClass::Wire)
+    }
+
+    /// Returns `true` for [`StorageClass::Array`].
+    pub fn is_array(self) -> bool {
+        matches!(self, StorageClass::Array { .. })
+    }
+}
+
+/// Direction of a variable with respect to the synthesized block's ports.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PortDirection {
+    /// An internal variable, not visible at the block boundary.
+    #[default]
+    Internal,
+    /// A primary input of the block (e.g. the instruction buffer bytes).
+    Input,
+    /// A primary output of the block (e.g. the `Mark[]` bit-vector).
+    Output,
+}
+
+/// A named variable of the behavioral description.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Var {
+    /// Source-level (or synthesized) name. Not required to be unique, but the
+    /// builder generates unique names for temporaries.
+    pub name: String,
+    /// Element type (for arrays, the element type).
+    pub ty: Type,
+    /// Register / wire / array storage.
+    pub storage: StorageClass,
+    /// Whether the variable is a primary input, primary output or internal.
+    pub direction: PortDirection,
+}
+
+impl Var {
+    /// Creates an internal register variable.
+    pub fn register(name: impl Into<String>, ty: Type) -> Self {
+        Var {
+            name: name.into(),
+            ty,
+            storage: StorageClass::Register,
+            direction: PortDirection::Internal,
+        }
+    }
+
+    /// Creates an internal wire-variable.
+    pub fn wire(name: impl Into<String>, ty: Type) -> Self {
+        Var {
+            name: name.into(),
+            ty,
+            storage: StorageClass::Wire,
+            direction: PortDirection::Internal,
+        }
+    }
+
+    /// Creates an array variable of `length` elements of type `ty`.
+    pub fn array(name: impl Into<String>, ty: Type, length: u32) -> Self {
+        Var {
+            name: name.into(),
+            ty,
+            storage: StorageClass::Array { length },
+            direction: PortDirection::Internal,
+        }
+    }
+
+    /// Returns `true` if this is a wire-variable.
+    pub fn is_wire(&self) -> bool {
+        self.storage.is_wire()
+    }
+
+    /// Returns `true` if this is an array.
+    pub fn is_array(&self) -> bool {
+        self.storage.is_array()
+    }
+
+    /// Array length, or `None` for scalars.
+    pub fn array_length(&self) -> Option<u32> {
+        match self.storage {
+            StorageClass::Array { length } => Some(length),
+            _ => None,
+        }
+    }
+
+    /// Marks the variable as a primary input and returns it (builder style).
+    pub fn as_input(mut self) -> Self {
+        self.direction = PortDirection::Input;
+        self
+    }
+
+    /// Marks the variable as a primary output and returns it (builder style).
+    pub fn as_output(mut self) -> Self {
+        self.direction = PortDirection::Output;
+        self
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match self.storage {
+            StorageClass::Register => "reg",
+            StorageClass::Wire => "wire",
+            StorageClass::Array { length } => return write!(f, "{}: {}[{}]", self.name, self.ty, length),
+        };
+        write!(f, "{}: {} {}", self.name, kind, self.ty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_storage() {
+        let r = Var::register("a", Type::Bits(8));
+        assert_eq!(r.storage, StorageClass::Register);
+        assert!(!r.is_wire());
+
+        let w = Var::wire("t1", Type::Bits(8));
+        assert!(w.is_wire());
+
+        let arr = Var::array("mark", Type::Bool, 16);
+        assert!(arr.is_array());
+        assert_eq!(arr.array_length(), Some(16));
+        assert_eq!(r.array_length(), None);
+    }
+
+    #[test]
+    fn port_direction_markers() {
+        let v = Var::array("buffer", Type::Bits(8), 16).as_input();
+        assert_eq!(v.direction, PortDirection::Input);
+        let v = Var::array("mark", Type::Bool, 16).as_output();
+        assert_eq!(v.direction, PortDirection::Output);
+        let v = Var::register("x", Type::Bits(32));
+        assert_eq!(v.direction, PortDirection::Internal);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Var::register("a", Type::Bits(8)).to_string(), "a: reg u8");
+        assert_eq!(Var::wire("t", Type::Bool).to_string(), "t: wire bool");
+        assert_eq!(Var::array("m", Type::Bool, 4).to_string(), "m: bool[4]");
+    }
+}

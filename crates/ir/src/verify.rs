@@ -1,0 +1,252 @@
+//! Structural well-formedness checks.
+//!
+//! Transformations are required to keep the IR well formed; the test suites
+//! call [`verify`] after every pass (and property tests call it on generated
+//! programs) to catch structural corruption early: dangling ids, operations
+//! owned by two blocks, wrong operand counts, and the like.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::function::Function;
+use crate::htg::{HtgNode, LoopKind, RegionId};
+use crate::op::OpKind;
+use crate::value::Value;
+
+/// A single well-formedness violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VerifyError {
+    /// Function in which the violation was found.
+    pub function: String,
+    /// Description of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.function, self.message)
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verifies the structural invariants of a function.
+///
+/// # Errors
+/// Returns every violation found (an empty `Ok(())` means the function is
+/// well formed).
+pub fn verify(function: &Function) -> Result<(), Vec<VerifyError>> {
+    let mut errors = Vec::new();
+    let mut err = |message: String| {
+        errors.push(VerifyError { function: function.name.clone(), message });
+    };
+
+    // 1. Region tree: every node appears in at most one region, the body is a
+    //    valid region, and all referenced regions/blocks exist.
+    let mut seen_nodes = BTreeSet::new();
+    let mut seen_regions = BTreeSet::new();
+    let mut stack: Vec<RegionId> = vec![function.body];
+    while let Some(region) = stack.pop() {
+        if !seen_regions.insert(region) {
+            err(format!("region {region:?} reachable twice"));
+            continue;
+        }
+        let Some(region_data) = function.regions.try_get(region) else {
+            err(format!("dangling region id {region:?}"));
+            continue;
+        };
+        for &node in &region_data.nodes {
+            if !seen_nodes.insert(node) {
+                err(format!("HTG node {node:?} appears in more than one region"));
+            }
+            let Some(node_data) = function.nodes.try_get(node) else {
+                err(format!("dangling node id {node:?}"));
+                continue;
+            };
+            match node_data {
+                HtgNode::Block(b) => {
+                    if function.blocks.try_get(*b).is_none() {
+                        err(format!("dangling block id {b:?}"));
+                    }
+                }
+                HtgNode::If(i) => {
+                    stack.push(i.then_region);
+                    stack.push(i.else_region);
+                    check_value(function, i.cond, "if condition", &mut err);
+                }
+                HtgNode::Loop(l) => {
+                    stack.push(l.body);
+                    match &l.kind {
+                        LoopKind::For { index, end, step, .. } => {
+                            if function.vars.try_get(*index).is_none() {
+                                err(format!("loop index {index:?} is dangling"));
+                            }
+                            check_value(function, *end, "loop bound", &mut err);
+                            if *step == 0 {
+                                err("loop step must be non-zero".to_string());
+                            }
+                        }
+                        LoopKind::While { cond } => {
+                            check_value(function, *cond, "while condition", &mut err)
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // 2. Each live operation appears in exactly one block reachable from the
+    //    body; operands and destinations reference declared variables and
+    //    match the kind's arity.
+    let mut op_owner = BTreeSet::new();
+    for block in function.blocks_in_region(function.body) {
+        for &op_id in &function.blocks[block].ops {
+            let Some(op) = function.ops.try_get(op_id) else {
+                err(format!("dangling op id {op_id:?} in block {block:?}"));
+                continue;
+            };
+            if op.dead {
+                continue;
+            }
+            if !op_owner.insert(op_id) {
+                err(format!("operation {op_id:?} appears in more than one block"));
+            }
+            if let Some(arity) = op.kind.arity() {
+                if op.args.len() != arity {
+                    err(format!(
+                        "operation {op_id:?} ({}) has {} operands, expected {arity}",
+                        op.kind,
+                        op.args.len()
+                    ));
+                }
+            }
+            for &arg in &op.args {
+                check_value(function, arg, "operand", &mut err);
+            }
+            if let Some(dest) = op.dest {
+                if function.vars.try_get(dest).is_none() {
+                    err(format!("operation {op_id:?} writes dangling variable {dest:?}"));
+                } else if function.vars[dest].is_array() {
+                    err(format!(
+                        "operation {op_id:?} writes array `{}` as a scalar",
+                        function.vars[dest].name
+                    ));
+                }
+            }
+            match &op.kind {
+                OpKind::ArrayRead { array } | OpKind::ArrayWrite { array } => {
+                    match function.vars.try_get(*array) {
+                        None => err(format!("operation {op_id:?} references dangling array {array:?}")),
+                        Some(var) if !var.is_array() => {
+                            err(format!("operation {op_id:?} indexes non-array `{}`", var.name))
+                        }
+                        _ => {}
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+fn check_value(
+    function: &Function,
+    value: Value,
+    what: &str,
+    err: &mut impl FnMut(String),
+) {
+    if let Value::Var(v) = value {
+        if function.vars.try_get(v).is_none() {
+            err(format!("{what} references dangling variable {v:?}"));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::op::{OpKind, Operation};
+    use crate::types::Type;
+    use crate::value::Value;
+    use crate::var::VarId;
+
+    #[test]
+    fn well_formed_function_passes() {
+        let mut b = FunctionBuilder::new("ok");
+        let a = b.param("a", Type::Bits(8));
+        let x = b.var("x", Type::Bits(8));
+        b.if_begin(Value::Var(a));
+        b.copy(x, Value::word(1));
+        b.if_end();
+        let f = b.finish();
+        assert!(verify(&f).is_ok());
+    }
+
+    #[test]
+    fn dangling_variable_is_reported() {
+        let mut f = Function::new("bad");
+        let bb = f.add_block("BB0");
+        let node = f.add_block_node(bb);
+        let body = f.body;
+        f.region_push(body, node);
+        // Reference a variable that was never declared.
+        let ghost = VarId::from_raw(42);
+        let op = f.ops.alloc(Operation::new(OpKind::Copy, Some(ghost), vec![Value::word(1)]));
+        f.blocks[bb].push(op);
+        let errors = verify(&f).unwrap_err();
+        assert!(errors.iter().any(|e| e.message.contains("dangling variable")));
+    }
+
+    #[test]
+    fn wrong_arity_is_reported() {
+        let mut f = Function::new("bad");
+        let x = f.add_var(crate::var::Var::register("x", Type::Bits(8)));
+        let bb = f.add_block("BB0");
+        let node = f.add_block_node(bb);
+        let body = f.body;
+        f.region_push(body, node);
+        let op = f.ops.alloc(Operation::new(OpKind::Add, Some(x), vec![Value::word(1)]));
+        f.blocks[bb].push(op);
+        let errors = verify(&f).unwrap_err();
+        assert!(errors.iter().any(|e| e.message.contains("expected 2")));
+    }
+
+    #[test]
+    fn duplicated_op_is_reported() {
+        let mut f = Function::new("bad");
+        let x = f.add_var(crate::var::Var::register("x", Type::Bits(8)));
+        let bb1 = f.add_block("BB0");
+        let bb2 = f.add_block("BB1");
+        let n1 = f.add_block_node(bb1);
+        let n2 = f.add_block_node(bb2);
+        let body = f.body;
+        f.region_push(body, n1);
+        f.region_push(body, n2);
+        let op = f.ops.alloc(Operation::new(OpKind::Copy, Some(x), vec![Value::word(1)]));
+        f.blocks[bb1].push(op);
+        f.blocks[bb2].push(op);
+        let errors = verify(&f).unwrap_err();
+        assert!(errors.iter().any(|e| e.message.contains("more than one block")));
+    }
+
+    #[test]
+    fn scalar_write_to_array_is_reported() {
+        let mut f = Function::new("bad");
+        let arr = f.add_var(crate::var::Var::array("m", Type::Bool, 4));
+        let bb = f.add_block("BB0");
+        let node = f.add_block_node(bb);
+        let body = f.body;
+        f.region_push(body, node);
+        let op = f.ops.alloc(Operation::new(OpKind::Copy, Some(arr), vec![Value::word(1)]));
+        f.blocks[bb].push(op);
+        let errors = verify(&f).unwrap_err();
+        assert!(errors.iter().any(|e| e.message.contains("as a scalar")));
+    }
+}

@@ -1,0 +1,390 @@
+//! Cycle-accurate RTL-semantics simulation of a scheduled design.
+//!
+//! The [`RtlSimulator`] executes a scheduled function the way the generated
+//! hardware would: one pass through the FSM states, registers sampled at the
+//! state boundary (reads observe the value at state entry, writes become
+//! visible in the next state), wire-variables combinational within the state,
+//! and guarded operations committing only when their branch conditions hold.
+//!
+//! This is deliberately a *different* evaluation model from the sequential
+//! [`spark_ir::Interpreter`]: agreement between the two on the same inputs
+//! demonstrates that scheduling, chaining and wire-variable insertion
+//! preserved the behaviour — the verification step the paper could not do
+//! against a hand design.
+//!
+//! After operation chaining, same-state consumers must read wire-variables
+//! (inserted by [`spark_sched::insert_wire_variables`]); running the RTL
+//! simulator on a chained design *without* that pass will expose the
+//! register-read hazard, which is exactly what the tests check.
+
+use std::collections::BTreeMap;
+
+use spark_ir::{Env, Function, OpKind, PortDirection, Type, Value, VarId};
+use spark_sched::{DependenceGraph, Guard, Schedule};
+
+/// Result of one block evaluation (one pass through all FSM states).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RtlOutcome {
+    /// Final register/port values by variable name.
+    pub scalars: BTreeMap<String, u64>,
+    /// Final array contents by variable name.
+    pub arrays: BTreeMap<String, Vec<u64>>,
+    /// Number of cycles executed.
+    pub cycles: usize,
+}
+
+impl RtlOutcome {
+    /// Final value of a named scalar.
+    pub fn scalar(&self, name: &str) -> Option<u64> {
+        self.scalars.get(name).copied()
+    }
+
+    /// Final contents of a named array.
+    pub fn array(&self, name: &str) -> Option<&[u64]> {
+        self.arrays.get(name).map(Vec::as_slice)
+    }
+}
+
+/// Errors raised by the RTL simulator.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RtlSimError {
+    /// An array access was out of bounds.
+    OutOfBounds {
+        /// Array name.
+        array: String,
+        /// Offending index.
+        index: u64,
+    },
+    /// The design still contains operations the datapath cannot implement
+    /// (calls must be inlined before RTL generation).
+    UnsupportedOp(String),
+}
+
+impl std::fmt::Display for RtlSimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RtlSimError::OutOfBounds { array, index } => {
+                write!(f, "index {index} out of bounds for array `{array}`")
+            }
+            RtlSimError::UnsupportedOp(op) => write!(f, "unsupported operation in datapath: {op}"),
+        }
+    }
+}
+
+impl std::error::Error for RtlSimError {}
+
+/// Cycle-accurate simulator for a scheduled function.
+#[derive(Clone, Debug)]
+pub struct RtlSimulator<'a> {
+    function: &'a Function,
+    graph: &'a DependenceGraph,
+    schedule: &'a Schedule,
+}
+
+impl<'a> RtlSimulator<'a> {
+    /// Creates a simulator for one scheduled function.
+    pub fn new(function: &'a Function, graph: &'a DependenceGraph, schedule: &'a Schedule) -> Self {
+        RtlSimulator { function, graph, schedule }
+    }
+
+    /// Runs one block evaluation with the inputs of `env`.
+    ///
+    /// # Errors
+    /// Returns [`RtlSimError`] on out-of-bounds array accesses or operations
+    /// that have no datapath implementation (calls).
+    pub fn run(&self, env: &Env) -> Result<RtlOutcome, RtlSimError> {
+        let function = self.function;
+        // Register file and array state.
+        let mut registers: BTreeMap<VarId, u64> = BTreeMap::new();
+        let mut arrays: BTreeMap<VarId, Vec<u64>> = BTreeMap::new();
+        for (var_id, var) in function.vars.iter() {
+            match var.storage {
+                spark_ir::StorageClass::Array { length } => {
+                    let mut contents = env
+                        .array_bindings()
+                        .get(&var.name)
+                        .cloned()
+                        .unwrap_or_default();
+                    contents.resize(length as usize, 0);
+                    contents.iter_mut().for_each(|v| *v &= var.ty.mask());
+                    arrays.insert(var_id, contents);
+                }
+                _ => {
+                    let value = env.scalar_bindings().get(&var.name).copied().unwrap_or(0);
+                    registers.insert(var_id, value & var.ty.mask());
+                }
+            }
+        }
+
+        // Ops per state, in program order.
+        let program_order = function.live_ops();
+        let num_states = self.schedule.num_states.max(1);
+
+        for state in 0..num_states {
+            let register_snapshot = registers.clone();
+            let array_snapshot = arrays.clone();
+            let mut wires: BTreeMap<VarId, u64> = BTreeMap::new();
+            let mut next_registers = registers.clone();
+            let mut next_arrays = arrays.clone();
+            // Registers already written earlier in this state. Data operands
+            // must go through wire-variables to see such values (that is what
+            // Section 3.1.2 is about), but the *controller* taps condition
+            // signals combinationally: a branch condition computed in this
+            // cycle steers the commits of this same cycle.
+            let mut written_this_state: std::collections::BTreeSet<VarId> = std::collections::BTreeSet::new();
+
+            let read = |value: Value, wires: &BTreeMap<VarId, u64>| -> u64 {
+                match value {
+                    Value::Const(c) => c.value(),
+                    Value::Var(v) => {
+                        if function.vars[v].is_wire() {
+                            wires.get(&v).copied().unwrap_or(0)
+                        } else {
+                            register_snapshot.get(&v).copied().unwrap_or(0)
+                        }
+                    }
+                }
+            };
+            let read_fresh = |value: Value,
+                              wires: &BTreeMap<VarId, u64>,
+                              next_registers: &BTreeMap<VarId, u64>,
+                              written: &std::collections::BTreeSet<VarId>|
+             -> u64 {
+                match value {
+                    Value::Const(c) => c.value(),
+                    Value::Var(v) => {
+                        if function.vars[v].is_wire() {
+                            wires.get(&v).copied().unwrap_or(0)
+                        } else if written.contains(&v) {
+                            next_registers.get(&v).copied().unwrap_or(0)
+                        } else {
+                            register_snapshot.get(&v).copied().unwrap_or(0)
+                        }
+                    }
+                }
+            };
+            let guard_holds = |guard: &Guard,
+                               wires: &BTreeMap<VarId, u64>,
+                               next_registers: &BTreeMap<VarId, u64>,
+                               written: &std::collections::BTreeSet<VarId>|
+             -> bool {
+                guard
+                    .terms
+                    .iter()
+                    .all(|(cond, polarity)| (read_fresh(*cond, wires, next_registers, written) != 0) == *polarity)
+            };
+
+            for &op_id in &program_order {
+                if self.schedule.op_state.get(&op_id) != Some(&state) {
+                    continue;
+                }
+                let op = &function.ops[op_id];
+                let guard = self.graph.guard_of(op_id);
+                if !guard_holds(&guard, &wires, &next_registers, &written_this_state) {
+                    continue;
+                }
+                let a = |i: usize| op.args.get(i).copied().unwrap_or(Value::word(0));
+                let result: Option<u64> = match &op.kind {
+                    OpKind::Add => Some(read(a(0), &wires).wrapping_add(read(a(1), &wires))),
+                    OpKind::Sub => Some(read(a(0), &wires).wrapping_sub(read(a(1), &wires))),
+                    OpKind::Mul => Some(read(a(0), &wires).wrapping_mul(read(a(1), &wires))),
+                    OpKind::And => Some(read(a(0), &wires) & read(a(1), &wires)),
+                    OpKind::Or => Some(read(a(0), &wires) | read(a(1), &wires)),
+                    OpKind::Xor => Some(read(a(0), &wires) ^ read(a(1), &wires)),
+                    OpKind::Not => Some(!read(a(0), &wires)),
+                    OpKind::Shl => Some(read(a(0), &wires) << read(a(1), &wires).min(63)),
+                    OpKind::Shr => Some(read(a(0), &wires) >> read(a(1), &wires).min(63)),
+                    OpKind::Eq => Some((read(a(0), &wires) == read(a(1), &wires)) as u64),
+                    OpKind::Ne => Some((read(a(0), &wires) != read(a(1), &wires)) as u64),
+                    OpKind::Lt => Some((read(a(0), &wires) < read(a(1), &wires)) as u64),
+                    OpKind::Le => Some((read(a(0), &wires) <= read(a(1), &wires)) as u64),
+                    OpKind::Gt => Some((read(a(0), &wires) > read(a(1), &wires)) as u64),
+                    OpKind::Ge => Some((read(a(0), &wires) >= read(a(1), &wires)) as u64),
+                    OpKind::Copy => Some(read(a(0), &wires)),
+                    OpKind::Select => Some(if read(a(0), &wires) != 0 {
+                        read(a(1), &wires)
+                    } else {
+                        read(a(2), &wires)
+                    }),
+                    OpKind::Slice { hi, lo } => {
+                        Some((read(a(0), &wires) >> lo) & Type::Bits(hi - lo + 1).mask())
+                    }
+                    OpKind::Concat => {
+                        let low_width = match a(1) {
+                            Value::Const(c) => c.ty().width(),
+                            Value::Var(v) => function.vars[v].ty.width(),
+                        };
+                        Some((read(a(0), &wires) << low_width) | read(a(1), &wires))
+                    }
+                    OpKind::ArrayRead { array } => {
+                        let index = read(a(0), &wires);
+                        let contents = array_snapshot.get(array).cloned().unwrap_or_default();
+                        Some(*contents.get(index as usize).ok_or(RtlSimError::OutOfBounds {
+                            array: function.vars[*array].name.clone(),
+                            index,
+                        })?)
+                    }
+                    OpKind::ArrayWrite { array } => {
+                        let index = read(a(0), &wires);
+                        let value = read(a(1), &wires) & function.vars[*array].ty.mask();
+                        let name = function.vars[*array].name.clone();
+                        let contents = next_arrays.entry(*array).or_default();
+                        let slot = contents
+                            .get_mut(index as usize)
+                            .ok_or(RtlSimError::OutOfBounds { array: name, index })?;
+                        *slot = value;
+                        None
+                    }
+                    OpKind::Return => None,
+                    OpKind::Call { callee } => {
+                        return Err(RtlSimError::UnsupportedOp(format!("call to `{callee}`")))
+                    }
+                };
+                if let (Some(dest), Some(value)) = (op.dest, result) {
+                    let masked = value & function.vars[dest].ty.mask();
+                    if function.vars[dest].is_wire() {
+                        wires.insert(dest, masked);
+                    } else {
+                        next_registers.insert(dest, masked);
+                        written_this_state.insert(dest);
+                    }
+                }
+            }
+
+            registers = next_registers;
+            arrays = next_arrays;
+        }
+
+        let mut outcome = RtlOutcome { cycles: num_states, ..RtlOutcome::default() };
+        for (var_id, var) in function.vars.iter() {
+            if var.is_array() {
+                if let Some(contents) = arrays.get(&var_id) {
+                    outcome.arrays.insert(var.name.clone(), contents.clone());
+                }
+            } else if !var.is_wire() || var.direction != PortDirection::Internal {
+                if let Some(&value) = registers.get(&var_id) {
+                    outcome.scalars.insert(var.name.clone(), value);
+                }
+            }
+        }
+        Ok(outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spark_ir::{FunctionBuilder, Interpreter, Program, Type};
+    use spark_sched::{insert_wire_variables, schedule, Constraints, ResourceLibrary};
+
+    /// Schedules `f` for a single cycle, inserts wire-variables and returns
+    /// everything needed to simulate it.
+    fn prepare(mut f: Function, period: f64) -> (Function, DependenceGraph, Schedule) {
+        let graph = DependenceGraph::build(&f).unwrap();
+        let lib = ResourceLibrary::new();
+        let mut sched = schedule(&f, &graph, &lib, &Constraints::microprocessor_block(period)).unwrap();
+        insert_wire_variables(&mut f, &mut sched);
+        // Guards may have changed structurally (new blocks) — rebuild.
+        let graph = DependenceGraph::build(&f).unwrap();
+        (f, graph, sched)
+    }
+
+    fn chained_conditional() -> Function {
+        // cond = a > 10; if (cond) { x = a + 1 } else { x = a - 1 }; out = x + b
+        let mut b = FunctionBuilder::new("design");
+        let a = b.param("a", Type::Bits(8));
+        let bb = b.param("b", Type::Bits(8));
+        let cond = b.var("cond", Type::Bool);
+        let x = b.var("x", Type::Bits(8));
+        let out = b.output("out", Type::Bits(8));
+        b.assign(OpKind::Gt, cond, vec![Value::Var(a), Value::word(10)]);
+        b.if_begin(Value::Var(cond));
+        b.assign(OpKind::Add, x, vec![Value::Var(a), Value::word(1)]);
+        b.else_begin();
+        b.assign(OpKind::Sub, x, vec![Value::Var(a), Value::word(1)]);
+        b.if_end();
+        b.assign(OpKind::Add, out, vec![Value::Var(x), Value::Var(bb)]);
+        b.finish()
+    }
+
+    #[test]
+    fn rtl_matches_interpreter_on_single_cycle_design() {
+        let original = chained_conditional();
+        let (f, graph, sched) = prepare(original.clone(), 20.0);
+        assert_eq!(sched.num_states, 1);
+
+        let mut program = Program::new();
+        program.add_function(original);
+        for a in [0u64, 5, 11, 200, 255] {
+            for b in [0u64, 3, 250] {
+                let env = Env::new().with_scalar("a", a).with_scalar("b", b);
+                let golden = Interpreter::new(&program).run("design", &env).unwrap();
+                let rtl = RtlSimulator::new(&f, &graph, &sched).run(&env).unwrap();
+                assert_eq!(golden.scalar("out"), rtl.scalar("out"), "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn rtl_matches_interpreter_on_multi_cycle_design() {
+        let original = chained_conditional();
+        // Tight clock: comparator, adders spread over several states.
+        let (f, graph, sched) = prepare(original.clone(), 2.5);
+        assert!(sched.num_states > 1);
+        let mut program = Program::new();
+        program.add_function(original);
+        for a in [7u64, 42] {
+            let env = Env::new().with_scalar("a", a).with_scalar("b", 9);
+            let golden = Interpreter::new(&program).run("design", &env).unwrap();
+            let rtl = RtlSimulator::new(&f, &graph, &sched).run(&env).unwrap();
+            assert_eq!(golden.scalar("out"), rtl.scalar("out"), "a={a}");
+        }
+    }
+
+    #[test]
+    fn without_wire_insertion_the_register_hazard_shows() {
+        // Same design, scheduled into one state but *without* wire-variable
+        // insertion: the chained read of `x` observes the stale register and
+        // the result differs from the golden model — demonstrating why
+        // Section 3.1.2 is necessary.
+        let f = chained_conditional();
+        let graph = DependenceGraph::build(&f).unwrap();
+        let lib = ResourceLibrary::new();
+        let sched = schedule(&f, &graph, &lib, &Constraints::microprocessor_block(20.0)).unwrap();
+        let env = Env::new().with_scalar("a", 20).with_scalar("b", 1);
+        let rtl = RtlSimulator::new(&f, &graph, &sched).run(&env).unwrap();
+        // golden would be (20+1)+1 = 22; the hazard yields 0+1 = 1.
+        assert_ne!(rtl.scalar("out"), Some(22));
+    }
+
+    #[test]
+    fn guarded_array_writes_commit_only_when_taken() {
+        let mut b = FunctionBuilder::new("marks");
+        let c = b.param("c", Type::Bool);
+        let mark = b.output_array("Mark", Type::Bool, 4);
+        b.if_begin(Value::Var(c));
+        b.array_write(mark, Value::word(2), Value::bool(true));
+        b.if_end();
+        let f = b.finish();
+        let (f, graph, sched) = prepare(f, 10.0);
+        let sim = RtlSimulator::new(&f, &graph, &sched);
+        let taken = sim.run(&Env::new().with_scalar("c", 1)).unwrap();
+        assert_eq!(taken.array("Mark"), Some(&[0, 0, 1, 0][..]));
+        let skipped = sim.run(&Env::new().with_scalar("c", 0)).unwrap();
+        assert_eq!(skipped.array("Mark"), Some(&[0, 0, 0, 0][..]));
+    }
+
+    #[test]
+    fn out_of_bounds_is_reported() {
+        let mut b = FunctionBuilder::new("oob");
+        let i = b.param("i", Type::Bits(8));
+        let mark = b.output_array("Mark", Type::Bool, 2);
+        b.array_write(mark, Value::Var(i), Value::bool(true));
+        let f = b.finish();
+        let (f, graph, sched) = prepare(f, 10.0);
+        let err = RtlSimulator::new(&f, &graph, &sched)
+            .run(&Env::new().with_scalar("i", 9))
+            .unwrap_err();
+        assert!(matches!(err, RtlSimError::OutOfBounds { .. }));
+    }
+}

@@ -1,0 +1,312 @@
+//! Data dependences, branch guards and mutual exclusion.
+//!
+//! Scheduling with operation chaining across conditional boundaries "has to
+//! use a modified resource utilization and operation scheduling model that
+//! looks across the conditional boundaries" (Section 3.1). The model here
+//! captures exactly the information that needs: the guard (branch context)
+//! of every operation, whether two operations are mutually exclusive (and may
+//! therefore share a functional unit in the same cycle), and the data
+//! dependences that chaining must respect.
+
+use std::collections::BTreeMap;
+
+use spark_ir::{Function, HtgNode, OpId, RegionId, Value, VarId};
+
+/// Why scheduling cannot proceed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SchedError {
+    /// The function still contains loops; unroll (or pipeline) them first.
+    ContainsLoops,
+    /// The function still contains calls; inline them first.
+    ContainsCalls,
+    /// An operation could not be placed within the resource/latency limits.
+    Unschedulable(String),
+}
+
+impl std::fmt::Display for SchedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchedError::ContainsLoops => write!(f, "function contains loops; unroll them before scheduling"),
+            SchedError::ContainsCalls => write!(f, "function contains calls; inline them before scheduling"),
+            SchedError::Unschedulable(msg) => write!(f, "unschedulable: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SchedError {}
+
+/// The branch context of an operation: the conditions (with polarity) of
+/// every `if` node enclosing it, outermost first.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Guard {
+    /// `(condition value, polarity)` pairs; polarity `true` means the
+    /// operation sits in the then-branch of that condition.
+    pub terms: Vec<(Value, bool)>,
+}
+
+impl Guard {
+    /// Returns `true` for an unguarded (always-executed) operation.
+    pub fn is_unconditional(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Two guards are mutually exclusive when they disagree on the polarity
+    /// of some shared condition.
+    pub fn mutually_exclusive(&self, other: &Guard) -> bool {
+        self.terms.iter().any(|(cond, pol)| {
+            other.terms.iter().any(|(c2, p2)| c2 == cond && p2 != pol)
+        })
+    }
+}
+
+/// The kind of a dependence edge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DepKind {
+    /// Read-after-write: the consumer needs the producer's value. Chaining a
+    /// flow dependence within a state requires a wire-variable.
+    Flow,
+    /// Write-after-read.
+    Anti,
+    /// Write-after-write.
+    Output,
+    /// The operation is guarded by a condition computed by the producer.
+    Control,
+}
+
+/// A single dependence edge.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Dependence {
+    /// Producer (must be scheduled no later than the consumer).
+    pub from: OpId,
+    /// Consumer.
+    pub to: OpId,
+    /// Edge kind.
+    pub kind: DepKind,
+    /// Variable the edge is about (the condition variable for control edges).
+    pub var: VarId,
+}
+
+/// Data-dependence information for one loop-free, call-free function.
+#[derive(Clone, Debug, Default)]
+pub struct DependenceGraph {
+    /// Live operations in program order (a valid topological order).
+    pub order: Vec<OpId>,
+    /// Incoming edges per operation.
+    pub preds: BTreeMap<OpId, Vec<Dependence>>,
+    /// Guard (branch context) per operation.
+    pub guards: BTreeMap<OpId, Guard>,
+}
+
+impl DependenceGraph {
+    /// Builds the dependence graph of `function`.
+    ///
+    /// # Errors
+    /// Returns [`SchedError::ContainsLoops`] / [`SchedError::ContainsCalls`]
+    /// if coarse-grain transformations have not yet removed loops and calls.
+    pub fn build(function: &Function) -> Result<Self, SchedError> {
+        if function.loop_count() > 0 {
+            return Err(SchedError::ContainsLoops);
+        }
+        let mut graph = DependenceGraph::default();
+        let mut guard_stack = Guard::default();
+        collect(function, function.body, &mut guard_stack, &mut graph)?;
+
+        // Data dependences by program order.
+        let mut last_defs: BTreeMap<VarId, Vec<OpId>> = BTreeMap::new();
+        let mut last_uses: BTreeMap<VarId, Vec<OpId>> = BTreeMap::new();
+        // Condition variable -> defining ops seen so far (for control edges).
+        for index in 0..graph.order.len() {
+            let op_id = graph.order[index];
+            let op = function.ops[op_id].clone();
+            let guard = graph.guards[&op_id].clone();
+            let mut edges = Vec::new();
+
+            // Control dependences: the op depends on the producers of every
+            // condition in its guard.
+            for (cond, _) in &guard.terms {
+                if let Some(cond_var) = cond.as_var() {
+                    for &producer in last_defs.get(&cond_var).into_iter().flatten() {
+                        edges.push(Dependence { from: producer, to: op_id, kind: DepKind::Control, var: cond_var });
+                    }
+                }
+            }
+
+            // Flow dependences on every operand.
+            for used in op.uses() {
+                for &producer in last_defs.get(&used).into_iter().flatten() {
+                    if !graph.guards[&producer].mutually_exclusive(&guard) {
+                        edges.push(Dependence { from: producer, to: op_id, kind: DepKind::Flow, var: used });
+                    }
+                }
+            }
+
+            if let Some(defined) = op.def() {
+                // Output dependences on earlier defs, anti dependences on earlier uses.
+                for &producer in last_defs.get(&defined).into_iter().flatten() {
+                    if !graph.guards[&producer].mutually_exclusive(&guard) {
+                        edges.push(Dependence { from: producer, to: op_id, kind: DepKind::Output, var: defined });
+                    }
+                }
+                for &reader in last_uses.get(&defined).into_iter().flatten() {
+                    if reader != op_id && !graph.guards[&reader].mutually_exclusive(&guard) {
+                        edges.push(Dependence { from: reader, to: op_id, kind: DepKind::Anti, var: defined });
+                    }
+                }
+            }
+
+            // Update access history.
+            for used in op.uses() {
+                last_uses.entry(used).or_default().push(op_id);
+            }
+            if let Some(defined) = op.def() {
+                last_defs.entry(defined).or_default().push(op_id);
+            }
+
+            graph.preds.insert(op_id, edges);
+        }
+        Ok(graph)
+    }
+
+    /// Guard of an operation (unconditional if unknown).
+    pub fn guard_of(&self, op: OpId) -> Guard {
+        self.guards.get(&op).cloned().unwrap_or_default()
+    }
+
+    /// Returns `true` if the two operations can never execute in the same run
+    /// (they sit in opposite branches of some condition).
+    pub fn mutually_exclusive(&self, a: OpId, b: OpId) -> bool {
+        self.guard_of(a).mutually_exclusive(&self.guard_of(b))
+    }
+
+    /// Incoming dependences of an operation.
+    pub fn preds_of(&self, op: OpId) -> &[Dependence] {
+        self.preds.get(&op).map(Vec::as_slice).unwrap_or(&[])
+    }
+}
+
+fn collect(
+    function: &Function,
+    region: RegionId,
+    guard: &mut Guard,
+    graph: &mut DependenceGraph,
+) -> Result<(), SchedError> {
+    for &node in &function.regions[region].nodes {
+        match &function.nodes[node] {
+            HtgNode::Block(b) => {
+                for &op_id in &function.blocks[*b].ops {
+                    let op = &function.ops[op_id];
+                    if op.dead {
+                        continue;
+                    }
+                    if matches!(op.kind, spark_ir::OpKind::Call { .. }) {
+                        return Err(SchedError::ContainsCalls);
+                    }
+                    graph.order.push(op_id);
+                    graph.guards.insert(op_id, guard.clone());
+                }
+            }
+            HtgNode::If(i) => {
+                guard.terms.push((i.cond, true));
+                collect(function, i.then_region, guard, graph)?;
+                guard.terms.pop();
+                guard.terms.push((i.cond, false));
+                collect(function, i.else_region, guard, graph)?;
+                guard.terms.pop();
+            }
+            HtgNode::Loop(_) => return Err(SchedError::ContainsLoops),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spark_ir::{FunctionBuilder, OpKind, Type};
+
+    #[test]
+    fn guards_and_mutual_exclusion() {
+        let mut b = FunctionBuilder::new("f");
+        let c = b.param("c", Type::Bool);
+        let x = b.var("x", Type::Bits(8));
+        let before = b.copy(x, Value::word(0));
+        b.if_begin(Value::Var(c));
+        let then_op = b.copy(x, Value::word(1));
+        b.else_begin();
+        let else_op = b.copy(x, Value::word(2));
+        b.if_end();
+        let f = b.finish();
+        let graph = DependenceGraph::build(&f).unwrap();
+        assert!(graph.guard_of(before).is_unconditional());
+        assert!(!graph.guard_of(then_op).is_unconditional());
+        assert!(graph.mutually_exclusive(then_op, else_op));
+        assert!(!graph.mutually_exclusive(before, then_op));
+    }
+
+    #[test]
+    fn flow_and_control_edges() {
+        let mut b = FunctionBuilder::new("f");
+        let a = b.param("a", Type::Bits(8));
+        let cond = b.var("cond", Type::Bool);
+        let x = b.var("x", Type::Bits(8));
+        let y = b.var("y", Type::Bits(8));
+        let def_x = b.assign(OpKind::Add, x, vec![Value::Var(a), Value::word(1)]);
+        let def_cond = b.assign(OpKind::Gt, cond, vec![Value::Var(a), Value::word(7)]);
+        b.if_begin(Value::Var(cond));
+        let use_x = b.assign(OpKind::Add, y, vec![Value::Var(x), Value::word(1)]);
+        b.if_end();
+        let f = b.finish();
+        let graph = DependenceGraph::build(&f).unwrap();
+        let preds = graph.preds_of(use_x);
+        assert!(preds.iter().any(|d| d.from == def_x && d.kind == DepKind::Flow));
+        assert!(preds.iter().any(|d| d.from == def_cond && d.kind == DepKind::Control));
+    }
+
+    #[test]
+    fn anti_and_output_edges() {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.var("x", Type::Bits(8));
+        let y = b.var("y", Type::Bits(8));
+        let def1 = b.copy(x, Value::word(1));
+        let reader = b.assign(OpKind::Add, y, vec![Value::Var(x), Value::word(1)]);
+        let def2 = b.copy(x, Value::word(2));
+        let f = b.finish();
+        let graph = DependenceGraph::build(&f).unwrap();
+        let preds = graph.preds_of(def2);
+        assert!(preds.iter().any(|d| d.from == def1 && d.kind == DepKind::Output));
+        assert!(preds.iter().any(|d| d.from == reader && d.kind == DepKind::Anti));
+    }
+
+    #[test]
+    fn cross_branch_dependences_are_dropped() {
+        let mut b = FunctionBuilder::new("f");
+        let c = b.param("c", Type::Bool);
+        let x = b.var("x", Type::Bits(8));
+        b.if_begin(Value::Var(c));
+        let then_def = b.copy(x, Value::word(1));
+        b.else_begin();
+        let else_def = b.copy(x, Value::word(2));
+        b.if_end();
+        let f = b.finish();
+        let graph = DependenceGraph::build(&f).unwrap();
+        let preds = graph.preds_of(else_def);
+        assert!(!preds.iter().any(|d| d.from == then_def), "mutually exclusive defs do not order each other");
+    }
+
+    #[test]
+    fn loops_and_calls_are_rejected() {
+        let mut b = FunctionBuilder::new("f");
+        let i = b.var("i", Type::Bits(8));
+        b.for_begin(i, 0, Value::word(3), 1);
+        b.copy(i, Value::Var(i));
+        b.loop_end();
+        let f = b.finish();
+        assert_eq!(DependenceGraph::build(&f).unwrap_err(), SchedError::ContainsLoops);
+
+        let mut b = FunctionBuilder::new("g");
+        let r = b.var("r", Type::Bits(8));
+        b.call(Some(r), "h", vec![]);
+        let f = b.finish();
+        assert_eq!(DependenceGraph::build(&f).unwrap_err(), SchedError::ContainsCalls);
+    }
+}

@@ -1,0 +1,277 @@
+//! Functional-unit classes, delay/area characterisation and allocations.
+//!
+//! The paper's scheduling model charges every operation the delay of the
+//! functional unit it maps to and packs chained operations into a clock
+//! period. Microprocessor blocks are scheduled with "little or no resource
+//! constraints but tight bounds on the cycle time" (abstract); the ASIC
+//! baseline of Figure 1(a) instead has a small allocation and relaxed cycle
+//! counts. Both are expressed with [`Allocation`].
+
+use std::collections::BTreeMap;
+
+use spark_ir::{OpKind, Value};
+
+/// The class of functional unit an operation executes on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FuClass {
+    /// Ripple-carry style adder.
+    Adder,
+    /// Subtractor (kept separate from adders as in classical HLS libraries).
+    Subtractor,
+    /// Combinational multiplier.
+    Multiplier,
+    /// Magnitude/equality comparator.
+    Comparator,
+    /// Bitwise logic (AND/OR/XOR/NOT).
+    Logic,
+    /// Barrel shifter.
+    Shifter,
+    /// Steering logic (multiplexer) — also used for indexed array reads.
+    Mux,
+    /// Free wiring: copies, bit slices, concatenations, constant reads.
+    Wire,
+}
+
+impl FuClass {
+    /// All classes, in a stable order (used by reports).
+    pub const ALL: [FuClass; 8] = [
+        FuClass::Adder,
+        FuClass::Subtractor,
+        FuClass::Multiplier,
+        FuClass::Comparator,
+        FuClass::Logic,
+        FuClass::Shifter,
+        FuClass::Mux,
+        FuClass::Wire,
+    ];
+
+    /// The class an operation kind executes on.
+    ///
+    /// Array reads map to steering logic (an indexed read is a multiplexer
+    /// over the array elements); array reads with a constant index collapse
+    /// to plain wiring, which [`ResourceLibrary::op_delay`] accounts for.
+    pub fn for_op(kind: &OpKind) -> FuClass {
+        match kind {
+            OpKind::Add => FuClass::Adder,
+            OpKind::Sub => FuClass::Subtractor,
+            OpKind::Mul => FuClass::Multiplier,
+            OpKind::Eq | OpKind::Ne | OpKind::Lt | OpKind::Le | OpKind::Gt | OpKind::Ge => {
+                FuClass::Comparator
+            }
+            OpKind::And | OpKind::Or | OpKind::Xor | OpKind::Not => FuClass::Logic,
+            OpKind::Shl | OpKind::Shr => FuClass::Shifter,
+            OpKind::Select => FuClass::Mux,
+            OpKind::ArrayRead { .. } | OpKind::ArrayWrite { .. } => FuClass::Mux,
+            OpKind::Copy | OpKind::Slice { .. } | OpKind::Concat | OpKind::Call { .. } | OpKind::Return => {
+                FuClass::Wire
+            }
+        }
+    }
+
+    /// Returns `true` if operations of this class occupy no physical unit.
+    pub fn is_free(self) -> bool {
+        self == FuClass::Wire
+    }
+}
+
+impl std::fmt::Display for FuClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            FuClass::Adder => "adder",
+            FuClass::Subtractor => "subtractor",
+            FuClass::Multiplier => "multiplier",
+            FuClass::Comparator => "comparator",
+            FuClass::Logic => "logic",
+            FuClass::Shifter => "shifter",
+            FuClass::Mux => "mux",
+            FuClass::Wire => "wire",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Delay/area characterisation of one functional-unit class.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FuSpec {
+    /// Combinational delay in nanoseconds.
+    pub delay_ns: f64,
+    /// Area in equivalent gate units.
+    pub area: f64,
+}
+
+/// A technology library: delay and area per functional-unit class.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ResourceLibrary {
+    specs: BTreeMap<FuClass, FuSpec>,
+    /// Additional delay charged per multiplexer level introduced by steering
+    /// logic in front of a shared unit.
+    pub mux_delay_ns: f64,
+    /// Area of one register bit.
+    pub register_bit_area: f64,
+}
+
+impl Default for ResourceLibrary {
+    fn default() -> Self {
+        let mut specs = BTreeMap::new();
+        specs.insert(FuClass::Adder, FuSpec { delay_ns: 2.0, area: 32.0 });
+        specs.insert(FuClass::Subtractor, FuSpec { delay_ns: 2.0, area: 36.0 });
+        specs.insert(FuClass::Multiplier, FuSpec { delay_ns: 6.0, area: 300.0 });
+        specs.insert(FuClass::Comparator, FuSpec { delay_ns: 1.2, area: 18.0 });
+        specs.insert(FuClass::Logic, FuSpec { delay_ns: 0.4, area: 8.0 });
+        specs.insert(FuClass::Shifter, FuSpec { delay_ns: 1.6, area: 48.0 });
+        specs.insert(FuClass::Mux, FuSpec { delay_ns: 0.5, area: 6.0 });
+        specs.insert(FuClass::Wire, FuSpec { delay_ns: 0.0, area: 0.0 });
+        ResourceLibrary { specs, mux_delay_ns: 0.5, register_bit_area: 6.0 }
+    }
+}
+
+impl ResourceLibrary {
+    /// The default library (unit-ish delays typical of a 180 nm standard-cell
+    /// flow; absolute values do not matter, only relative shape).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overrides the spec of one class (builder style).
+    pub fn with_spec(mut self, class: FuClass, spec: FuSpec) -> Self {
+        self.specs.insert(class, spec);
+        self
+    }
+
+    /// Characterisation of a class.
+    pub fn spec(&self, class: FuClass) -> FuSpec {
+        self.specs.get(&class).copied().unwrap_or(FuSpec { delay_ns: 1.0, area: 10.0 })
+    }
+
+    /// Delay of one operation, taking operand shapes into account: an array
+    /// read with a constant index, like the buffer accesses of the fully
+    /// unrolled ILD, is free wiring rather than a real multiplexer.
+    pub fn op_delay(&self, kind: &OpKind, args: &[Value]) -> f64 {
+        match kind {
+            OpKind::ArrayRead { .. } | OpKind::ArrayWrite { .. } => {
+                if args.first().map(|a| a.is_const()).unwrap_or(false) {
+                    0.0
+                } else {
+                    self.spec(FuClass::Mux).delay_ns
+                }
+            }
+            _ => self.spec(FuClass::for_op(kind)).delay_ns,
+        }
+    }
+
+    /// Area of one operation instance (same constant-index refinement as
+    /// [`Self::op_delay`]).
+    pub fn op_area(&self, kind: &OpKind, args: &[Value]) -> f64 {
+        match kind {
+            OpKind::ArrayRead { .. } | OpKind::ArrayWrite { .. } => {
+                if args.first().map(|a| a.is_const()).unwrap_or(false) {
+                    0.0
+                } else {
+                    self.spec(FuClass::Mux).area
+                }
+            }
+            _ => self.spec(FuClass::for_op(kind)).area,
+        }
+    }
+}
+
+/// How many functional units of each class the scheduler may use per state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Allocation {
+    limits: BTreeMap<FuClass, usize>,
+    unlimited: bool,
+}
+
+impl Allocation {
+    /// The microprocessor-block scenario: effectively unlimited units.
+    pub fn unlimited() -> Self {
+        Allocation { limits: BTreeMap::new(), unlimited: true }
+    }
+
+    /// An empty, fully constrained allocation; add classes with
+    /// [`Self::with_limit`]. Classes that are never added default to one unit
+    /// (except [`FuClass::Wire`], which is always free).
+    pub fn constrained() -> Self {
+        Allocation { limits: BTreeMap::new(), unlimited: false }
+    }
+
+    /// A typical ASIC-style allocation used by the baseline flow: one unit of
+    /// every class except two adders and two comparators.
+    pub fn asic_default() -> Self {
+        Allocation::constrained()
+            .with_limit(FuClass::Adder, 2)
+            .with_limit(FuClass::Comparator, 2)
+            .with_limit(FuClass::Subtractor, 1)
+            .with_limit(FuClass::Multiplier, 1)
+            .with_limit(FuClass::Logic, 4)
+            .with_limit(FuClass::Shifter, 1)
+            .with_limit(FuClass::Mux, 8)
+    }
+
+    /// Sets the number of units of `class` (builder style).
+    pub fn with_limit(mut self, class: FuClass, units: usize) -> Self {
+        self.limits.insert(class, units);
+        self
+    }
+
+    /// Returns `true` if this allocation imposes no limits.
+    pub fn is_unlimited(&self) -> bool {
+        self.unlimited
+    }
+
+    /// Units available for a class (`usize::MAX` when unlimited or free).
+    pub fn limit(&self, class: FuClass) -> usize {
+        if self.unlimited || class.is_free() {
+            usize::MAX
+        } else {
+            self.limits.get(&class).copied().unwrap_or(1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_classification() {
+        assert_eq!(FuClass::for_op(&OpKind::Add), FuClass::Adder);
+        assert_eq!(FuClass::for_op(&OpKind::Lt), FuClass::Comparator);
+        assert_eq!(FuClass::for_op(&OpKind::Select), FuClass::Mux);
+        assert_eq!(FuClass::for_op(&OpKind::Copy), FuClass::Wire);
+        assert!(FuClass::Wire.is_free());
+        assert!(!FuClass::Adder.is_free());
+    }
+
+    #[test]
+    fn constant_index_array_reads_are_free() {
+        let lib = ResourceLibrary::new();
+        let read = OpKind::ArrayRead { array: spark_ir::VarId::from_raw(0) };
+        assert_eq!(lib.op_delay(&read, &[Value::word(3)]), 0.0);
+        assert!(lib.op_delay(&read, &[Value::Var(spark_ir::VarId::from_raw(1))]) > 0.0);
+        assert_eq!(lib.op_area(&read, &[Value::word(3)]), 0.0);
+    }
+
+    #[test]
+    fn allocations() {
+        let unlimited = Allocation::unlimited();
+        assert_eq!(unlimited.limit(FuClass::Adder), usize::MAX);
+        assert!(unlimited.is_unlimited());
+
+        let asic = Allocation::asic_default();
+        assert_eq!(asic.limit(FuClass::Adder), 2);
+        assert_eq!(asic.limit(FuClass::Multiplier), 1);
+        // Unlisted classes default to a single unit.
+        let tight = Allocation::constrained();
+        assert_eq!(tight.limit(FuClass::Adder), 1);
+        // Wire is always free.
+        assert_eq!(tight.limit(FuClass::Wire), usize::MAX);
+    }
+
+    #[test]
+    fn library_overrides() {
+        let lib = ResourceLibrary::new().with_spec(FuClass::Adder, FuSpec { delay_ns: 3.5, area: 40.0 });
+        assert_eq!(lib.spec(FuClass::Adder).delay_ns, 3.5);
+        assert_eq!(lib.op_delay(&OpKind::Add, &[]), 3.5);
+    }
+}

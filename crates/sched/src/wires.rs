@@ -1,0 +1,393 @@
+//! Wire-variable insertion (Section 3.1.2 of the paper).
+//!
+//! Registers can only be read in the cycle after they are written. To chain
+//! an operation with the producer of one of its operands *within* a cycle,
+//! the producer must drive a **wire-variable**: the producer is rewritten to
+//! write a fresh variable marked as a wire, a copy back into the original
+//! (potentially registered) variable is inserted after it, and same-cycle
+//! readers are redirected to the wire. When producers sit in conditional
+//! branches, the wire is pre-initialised with the register value before the
+//! conditional so that every chaining trail supplies a value (the situation
+//! of Figures 6 and 7).
+
+use std::collections::BTreeMap;
+
+use spark_ir::{Function, HtgNode, NodeId, OpId, OpKind, RegionId, Value, VarId};
+
+use crate::scheduler::Schedule;
+
+/// Statistics of a wire-variable insertion run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WireReport {
+    /// Wire-variables created.
+    pub wires_created: usize,
+    /// Producer operations redirected to write a wire.
+    pub producers_rewritten: usize,
+    /// Commit copies (`register = wire`) inserted.
+    pub commit_copies: usize,
+    /// Pre-initialisation copies (`wire = register`) inserted in front of
+    /// conditionals (the Figure 7 case).
+    pub initializers: usize,
+    /// Reader operands redirected from the register to the wire.
+    pub readers_redirected: usize,
+}
+
+/// Inserts wire-variables for every value that is produced and consumed in
+/// the same control step, updating `schedule` with the new copy operations.
+///
+/// Returns a [`WireReport`] describing the rewrites. The transformation
+/// preserves sequential semantics (checked by the interpreter-equivalence
+/// tests) and leaves registers holding exactly the values they held before.
+pub fn insert_wire_variables(function: &mut Function, schedule: &mut Schedule) -> WireReport {
+    let mut report = WireReport::default();
+
+    // Group same-state flow pairs by (variable, state).
+    // For determinism iterate ops in program order.
+    let order: Vec<OpId> = function.live_ops();
+    let position: BTreeMap<OpId, usize> = order.iter().copied().enumerate().map(|(i, o)| (o, i)).collect();
+
+    // variable -> state -> (writers, readers) among live ops.
+    let mut accesses: BTreeMap<(VarId, usize), (Vec<OpId>, Vec<OpId>)> = BTreeMap::new();
+    for &op_id in &order {
+        let Some(&state) = schedule.op_state.get(&op_id) else { continue };
+        let op = &function.ops[op_id];
+        for used in op.uses() {
+            if !function.vars[used].is_array() {
+                accesses.entry((used, state)).or_default().1.push(op_id);
+            }
+        }
+        if let Some(defined) = op.def() {
+            if !function.vars[defined].is_array() {
+                accesses.entry((defined, state)).or_default().0.push(op_id);
+            }
+        }
+    }
+
+    for ((var, state), (writers, readers)) in accesses {
+        if writers.is_empty() || readers.is_empty() {
+            continue;
+        }
+        // A reader needs the wire only if some writer precedes it in program
+        // order (otherwise it legitimately reads the register).
+        let first_writer = writers.iter().copied().min_by_key(|w| position[w]).expect("non-empty");
+        let chained_readers: Vec<OpId> = readers
+            .iter()
+            .copied()
+            .filter(|r| position[r] > position[&first_writer])
+            .collect();
+        if chained_readers.is_empty() {
+            continue;
+        }
+        if function.vars[var].is_wire() {
+            continue; // already a wire; nothing to do
+        }
+
+        let ty = function.vars[var].ty;
+        let wire_name = format!("w_{}_{}", function.vars[var].name, state);
+        let wire = function.add_var(spark_ir::Var::wire(wire_name, ty));
+        report.wires_created += 1;
+
+        // Figure 7 case: if any relevant writer is conditional, pre-initialise
+        // the wire from the register before the outermost conditional that
+        // contains the first writer.
+        let needs_initializer = writers
+            .iter()
+            .any(|&w| position[&w] >= position[&first_writer] && is_guarded(function, w));
+        if needs_initializer {
+            if let Some((region, index)) = outermost_conditional_before(function, first_writer) {
+                let init_block = function.add_block(format!("winit_{}", function.vars[var].name));
+                let init_op = function.push_op(init_block, OpKind::Copy, Some(wire), vec![Value::Var(var)]);
+                let node = function.add_block_node(init_block);
+                function.regions[region].nodes.insert(index, node);
+                schedule.op_state.insert(init_op, state);
+                schedule.op_start.insert(init_op, 0.0);
+                schedule.op_finish.insert(init_op, 0.0);
+                schedule.op_instance.insert(init_op, 0);
+                report.initializers += 1;
+            }
+        }
+
+        // Rewrite writers: write the wire, commit the register right after.
+        for &writer in &writers {
+            if position[&writer] > position[chained_readers.last().expect("non-empty")] {
+                // A writer after every chained reader does not need rewriting.
+                continue;
+            }
+            let Some(block) = function.block_of(writer) else { continue };
+            function.ops[writer].dest = Some(wire);
+            let commit = function.add_op(OpKind::Copy, Some(var), vec![Value::Var(wire)]);
+            let at = function.blocks[block].ops.iter().position(|&o| o == writer).expect("writer in block");
+            function.blocks[block].insert(at + 1, commit);
+            let finish = schedule.op_finish.get(&writer).copied().unwrap_or(0.0);
+            schedule.op_state.insert(commit, state);
+            schedule.op_start.insert(commit, finish);
+            schedule.op_finish.insert(commit, finish);
+            schedule.op_instance.insert(commit, 0);
+            report.producers_rewritten += 1;
+            report.commit_copies += 1;
+        }
+
+        // Redirect chained readers to the wire.
+        for &reader in &chained_readers {
+            for arg in &mut function.ops[reader].args {
+                if *arg == Value::Var(var) {
+                    *arg = Value::Var(wire);
+                    report.readers_redirected += 1;
+                }
+            }
+        }
+    }
+    report
+}
+
+/// Returns `true` if the op sits inside at least one `if` branch.
+fn is_guarded(function: &Function, op: OpId) -> bool {
+    let Some(block) = function.block_of(op) else { return false };
+    fn walk(function: &Function, region: RegionId, target: spark_ir::BlockId, depth: usize) -> Option<usize> {
+        for &node in &function.regions[region].nodes {
+            match &function.nodes[node] {
+                HtgNode::Block(b) if *b == target => return Some(depth),
+                HtgNode::Block(_) => {}
+                HtgNode::If(i) => {
+                    if let Some(d) = walk(function, i.then_region, target, depth + 1) {
+                        return Some(d);
+                    }
+                    if let Some(d) = walk(function, i.else_region, target, depth + 1) {
+                        return Some(d);
+                    }
+                }
+                HtgNode::Loop(l) => {
+                    if let Some(d) = walk(function, l.body, target, depth + 1) {
+                        return Some(d);
+                    }
+                }
+            }
+        }
+        None
+    }
+    walk(function, function.body, block, 0).map(|d| d > 0).unwrap_or(false)
+}
+
+/// Finds the outermost compound node containing `op` and returns its parent
+/// region together with the node's index in it, so an initialiser can be
+/// inserted right before it. Returns `None` for unguarded ops.
+fn outermost_conditional_before(function: &Function, op: OpId) -> Option<(RegionId, usize)> {
+    let block = function.block_of(op)?;
+    // Find the chain of nodes from the body down to the block.
+    fn find_chain(
+        function: &Function,
+        region: RegionId,
+        target: spark_ir::BlockId,
+        chain: &mut Vec<(RegionId, usize, NodeId)>,
+    ) -> bool {
+        for (index, &node) in function.regions[region].nodes.iter().enumerate() {
+            match &function.nodes[node] {
+                HtgNode::Block(b) if *b == target => {
+                    chain.push((region, index, node));
+                    return true;
+                }
+                HtgNode::Block(_) => {}
+                HtgNode::If(i) => {
+                    chain.push((region, index, node));
+                    if find_chain(function, i.then_region, target, chain)
+                        || find_chain(function, i.else_region, target, chain)
+                    {
+                        return true;
+                    }
+                    chain.pop();
+                }
+                HtgNode::Loop(l) => {
+                    chain.push((region, index, node));
+                    if find_chain(function, l.body, target, chain) {
+                        return true;
+                    }
+                    chain.pop();
+                }
+            }
+        }
+        false
+    }
+    let mut chain = Vec::new();
+    if !find_chain(function, function.body, block, &mut chain) {
+        return None;
+    }
+    // The first compound node in the chain (if any) is the outermost
+    // conditional containing the op.
+    chain
+        .iter()
+        .find(|(_, _, node)| function.nodes[*node].is_compound())
+        .map(|&(region, index, _)| (region, index))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deps::DependenceGraph;
+    use crate::resources::ResourceLibrary;
+    use crate::scheduler::{schedule, Constraints};
+    use spark_ir::{verify, Env, FunctionBuilder, Interpreter, Program, StorageClass, Type};
+
+    fn schedule_and_insert(f: &mut Function, period: f64) -> (Schedule, WireReport) {
+        let graph = DependenceGraph::build(f).unwrap();
+        let lib = ResourceLibrary::new();
+        let mut sched = schedule(f, &graph, &lib, &Constraints::microprocessor_block(period)).unwrap();
+        let report = insert_wire_variables(f, &mut sched);
+        (sched, report)
+    }
+
+    fn equivalent(original: &Function, transformed: &Function, envs: &[Env]) {
+        let mut p0 = Program::new();
+        p0.add_function(original.clone());
+        let mut p1 = Program::new();
+        p1.add_function(transformed.clone());
+        for env in envs {
+            let a = Interpreter::new(&p0).run(&original.name, env).unwrap();
+            let b = Interpreter::new(&p1).run(&transformed.name, env).unwrap();
+            // Every variable of the original must hold the same final value
+            // (wire temporaries only add new names).
+            for (name, value) in &a.scalars {
+                assert_eq!(Some(value), b.scalars.get(name).as_deref(), "scalar `{name}`");
+            }
+            assert_eq!(a.arrays, b.arrays);
+        }
+    }
+
+    #[test]
+    fn straight_line_chain_gets_wires() {
+        // r1 = a + 1; r2 = r1 + 2  (the Op1/Op2 situation of Section 3.1.2)
+        let mut b = FunctionBuilder::new("f");
+        let a = b.param("a", Type::Bits(8));
+        let r1 = b.var("r1", Type::Bits(8));
+        let r2 = b.var("r2", Type::Bits(8));
+        b.assign(OpKind::Add, r1, vec![Value::Var(a), Value::word(1)]);
+        b.assign(OpKind::Add, r2, vec![Value::Var(r1), Value::word(2)]);
+        let original = b.finish();
+        let mut f = original.clone();
+        let (sched, report) = schedule_and_insert(&mut f, 10.0);
+        assert_eq!(sched.num_states, 1);
+        assert_eq!(report.wires_created, 1);
+        assert_eq!(report.commit_copies, 1);
+        assert_eq!(report.readers_redirected, 1);
+        verify(&f).expect("well formed");
+        // r2's producer now reads a wire-variable.
+        let reader = f
+            .live_ops()
+            .into_iter()
+            .find(|&op| f.ops[op].dest == Some(r2))
+            .unwrap();
+        let src = f.ops[reader].args[0].as_var().unwrap();
+        assert_eq!(f.vars[src].storage, StorageClass::Wire);
+        equivalent(&original, &f, &[Env::new().with_scalar("a", 7), Env::new().with_scalar("a", 250)]);
+    }
+
+    #[test]
+    fn no_wires_needed_across_states() {
+        let mut b = FunctionBuilder::new("f");
+        let a = b.param("a", Type::Bits(8));
+        let r1 = b.var("r1", Type::Bits(8));
+        let r2 = b.var("r2", Type::Bits(8));
+        b.assign(OpKind::Add, r1, vec![Value::Var(a), Value::word(1)]);
+        b.assign(OpKind::Add, r2, vec![Value::Var(r1), Value::word(2)]);
+        let mut f = b.finish();
+        // Clock fits only one adder: the two ops land in different states.
+        let (sched, report) = schedule_and_insert(&mut f, 2.5);
+        assert_eq!(sched.num_states, 2);
+        assert_eq!(report.wires_created, 0);
+    }
+
+    #[test]
+    fn conditional_writers_get_initializer_and_commit_copies() {
+        // The Figure 6 situation: o1 written in both branches, read after.
+        let mut b = FunctionBuilder::new("fig6");
+        let a = b.param("a", Type::Bits(8));
+        let bb = b.param("b", Type::Bits(8));
+        let d = b.param("d", Type::Bits(8));
+        let e = b.param("e", Type::Bits(8));
+        let cond = b.param("cond", Type::Bool);
+        let o1 = b.var("o1", Type::Bits(8));
+        let o2 = b.output("o2", Type::Bits(8));
+        b.if_begin(Value::Var(cond));
+        b.assign(OpKind::Add, o1, vec![Value::Var(a), Value::Var(bb)]);
+        b.else_begin();
+        b.copy(o1, Value::Var(d));
+        b.if_end();
+        b.assign(OpKind::Add, o2, vec![Value::Var(o1), Value::Var(e)]);
+        let original = b.finish();
+        let mut f = original.clone();
+        let (sched, report) = schedule_and_insert(&mut f, 10.0);
+        assert_eq!(sched.num_states, 1);
+        assert_eq!(report.wires_created, 1);
+        assert!(report.commit_copies >= 2, "a copy in each branch, as in Figure 6(b)");
+        assert_eq!(report.initializers, 1, "the wire is pre-initialised (Figure 7 situation)");
+        verify(&f).expect("well formed");
+        let envs: Vec<Env> = [0u64, 1]
+            .into_iter()
+            .map(|c| {
+                Env::new()
+                    .with_scalar("a", 3)
+                    .with_scalar("b", 4)
+                    .with_scalar("d", 9)
+                    .with_scalar("e", 1)
+                    .with_scalar("cond", c)
+            })
+            .collect();
+        equivalent(&original, &f, &envs);
+    }
+
+    #[test]
+    fn single_branch_writer_is_covered_by_initializer() {
+        // The Figure 7 situation: o1 written only in the true branch, read after.
+        let mut b = FunctionBuilder::new("fig7");
+        let d = b.param("d", Type::Bits(8));
+        let init = b.param("o1_in", Type::Bits(8));
+        let cond = b.param("cond", Type::Bool);
+        let o1 = b.var("o1", Type::Bits(8));
+        let o2 = b.output("o2", Type::Bits(8));
+        b.copy(o1, Value::Var(init)); // a previous write of o1
+        b.if_begin(Value::Var(cond));
+        b.copy(o1, Value::Var(d));
+        b.if_end();
+        b.assign(OpKind::Add, o2, vec![Value::Var(o1), Value::word(1)]);
+        let original = b.finish();
+        let mut f = original.clone();
+        let (_sched, report) = schedule_and_insert(&mut f, 10.0);
+        assert_eq!(report.wires_created, 1);
+        verify(&f).expect("well formed");
+        let envs: Vec<Env> = [0u64, 1]
+            .into_iter()
+            .map(|c| {
+                Env::new()
+                    .with_scalar("d", 5)
+                    .with_scalar("o1_in", 11)
+                    .with_scalar("cond", c)
+            })
+            .collect();
+        equivalent(&original, &f, &envs);
+    }
+
+    #[test]
+    fn ripple_chain_of_register_updates_becomes_wires() {
+        // NextStartByte += len repeated — the ILD ripple logic.
+        let mut b = FunctionBuilder::new("ripple");
+        let nsb = b.output("nsb", Type::Bits(16));
+        let len1 = b.param("len1", Type::Bits(8));
+        let len2 = b.param("len2", Type::Bits(8));
+        let len3 = b.param("len3", Type::Bits(8));
+        b.copy(nsb, Value::word(1));
+        b.assign(OpKind::Add, nsb, vec![Value::Var(nsb), Value::Var(len1)]);
+        b.assign(OpKind::Add, nsb, vec![Value::Var(nsb), Value::Var(len2)]);
+        b.assign(OpKind::Add, nsb, vec![Value::Var(nsb), Value::Var(len3)]);
+        let original = b.finish();
+        let mut f = original.clone();
+        let (sched, report) = schedule_and_insert(&mut f, 10.0);
+        assert_eq!(sched.num_states, 1);
+        assert!(report.wires_created >= 1);
+        assert!(report.readers_redirected >= 2);
+        verify(&f).expect("well formed");
+        equivalent(
+            &original,
+            &f,
+            &[Env::new().with_scalar("len1", 2).with_scalar("len2", 3).with_scalar("len3", 4)],
+        );
+    }
+}

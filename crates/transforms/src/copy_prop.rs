@@ -1,0 +1,156 @@
+//! Copy propagation.
+//!
+//! The speculation and wire-variable passes introduce a large number of
+//! variable copies (`Length = TempLength1;`, `o1 = t1;`). Copy propagation
+//! forwards the source of a copy to dominated uses of its destination so that
+//! a following dead-code-elimination pass can delete the copy. The paper
+//! lists it among the "standard compiler transformations" that support the
+//! coarse-grain ones (Section 3).
+
+use spark_ir::{DefUse, Function, OpKind, Value};
+
+use crate::position::Positions;
+use crate::report::Report;
+
+/// Runs copy propagation to a fixed point on `function`.
+///
+/// A copy `x = y` is forwarded to a use of `x` when:
+/// * `x` has exactly one live definition (the copy itself),
+/// * the copy structurally dominates the use, and
+/// * `y` is never redefined (it has a single definition that dominates the
+///   copy, or it is only defined as a parameter/primary input), so its value
+///   at the use site equals its value at the copy site.
+pub fn copy_propagation(function: &mut Function) -> Report {
+    let mut report = Report::new("copy-propagation", &function.name);
+    for _round in 0..64 {
+        let def_use = DefUse::compute(function);
+        let positions = Positions::compute(function);
+        let mut rewrites: Vec<(spark_ir::OpId, usize, Value)> = Vec::new();
+
+        for (var, defs) in &def_use.defs {
+            if defs.len() != 1 {
+                continue;
+            }
+            let copy_op_id = defs[0];
+            let copy_op = &function.ops[copy_op_id];
+            if copy_op.kind != OpKind::Copy {
+                continue;
+            }
+            let source = copy_op.args[0];
+            // Source must be stable: a constant, or a variable with a single
+            // dominating definition (or no definition at all, e.g. an input).
+            let stable = match source {
+                Value::Const(_) => true,
+                Value::Var(src) => {
+                    let src_defs = def_use.defs_of(src);
+                    match src_defs.len() {
+                        0 => true,
+                        1 => positions.dominates(src_defs[0], copy_op_id),
+                        _ => false,
+                    }
+                }
+            };
+            if !stable {
+                continue;
+            }
+            for &use_op in def_use.uses_of(*var) {
+                if use_op == copy_op_id || !positions.dominates(copy_op_id, use_op) {
+                    continue;
+                }
+                for (idx, arg) in function.ops[use_op].args.iter().enumerate() {
+                    if *arg == Value::Var(*var) {
+                        rewrites.push((use_op, idx, source));
+                    }
+                }
+            }
+        }
+
+        let mut changed = 0;
+        for (op_id, idx, value) in rewrites {
+            if function.ops[op_id].args[idx] != value {
+                function.ops[op_id].args[idx] = value;
+                changed += 1;
+            }
+        }
+        report.add(changed);
+        if changed == 0 {
+            break;
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spark_ir::{FunctionBuilder, Type};
+
+    #[test]
+    fn forwards_simple_copy_chain() {
+        let mut b = FunctionBuilder::new("f");
+        let a = b.param("a", Type::Bits(8));
+        let t1 = b.var("t1", Type::Bits(8));
+        let t2 = b.var("t2", Type::Bits(8));
+        let out = b.var("out", Type::Bits(8));
+        b.copy(t1, Value::Var(a));
+        b.copy(t2, Value::Var(t1));
+        b.assign(OpKind::Add, out, vec![Value::Var(t2), Value::word(1)]);
+        let mut f = b.finish();
+        let report = copy_propagation(&mut f);
+        assert!(report.changes >= 2);
+        let ops = f.live_ops();
+        let add = &f.ops[*ops.last().unwrap()];
+        assert_eq!(add.args[0], Value::Var(a));
+    }
+
+    #[test]
+    fn does_not_forward_unstable_source() {
+        // x = y; y = y + 1; z = x  -- x must keep reading the old y.
+        let mut b = FunctionBuilder::new("f");
+        let y = b.var("y", Type::Bits(8));
+        let x = b.var("x", Type::Bits(8));
+        let z = b.var("z", Type::Bits(8));
+        b.copy(y, Value::word(1));
+        b.copy(x, Value::Var(y));
+        b.assign(OpKind::Add, y, vec![Value::Var(y), Value::word(1)]);
+        b.copy(z, Value::Var(x));
+        let mut f = b.finish();
+        copy_propagation(&mut f);
+        let ops = f.live_ops();
+        let last = &f.ops[*ops.last().unwrap()];
+        // z must still read x because y was redefined in between.
+        assert_eq!(last.args[0], Value::Var(x));
+    }
+
+    #[test]
+    fn does_not_forward_out_of_conditional() {
+        let mut b = FunctionBuilder::new("f");
+        let c = b.param("c", Type::Bool);
+        let a = b.param("a", Type::Bits(8));
+        let x = b.var("x", Type::Bits(8));
+        let z = b.var("z", Type::Bits(8));
+        b.if_begin(Value::Var(c));
+        b.copy(x, Value::Var(a));
+        b.if_end();
+        b.copy(z, Value::Var(x));
+        let mut f = b.finish();
+        copy_propagation(&mut f);
+        let ops = f.live_ops();
+        let last = &f.ops[*ops.last().unwrap()];
+        assert_eq!(last.args[0], Value::Var(x));
+    }
+
+    #[test]
+    fn forwards_constants_through_copies() {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.var("x", Type::Bits(8));
+        let y = b.var("y", Type::Bits(8));
+        b.copy(x, Value::word(7));
+        b.copy(y, Value::Var(x));
+        let mut f = b.finish();
+        copy_propagation(&mut f);
+        let ops = f.live_ops();
+        let last = &f.ops[*ops.last().unwrap()];
+        assert_eq!(last.args[0], Value::word(7));
+    }
+}

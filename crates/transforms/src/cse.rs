@@ -1,0 +1,142 @@
+//! Common subexpression elimination (block-local).
+//!
+//! After speculation the ILD's `CalculateLength` computes
+//! `TempLength1 = lc1 + lc2 + lc3 + lc4`, `TempLength2 = lc1 + lc2 + lc3`
+//! and `TempLength3 = lc1 + lc2` (Figure 11). When those sums are expanded
+//! into two-operand additions the partial sums repeat; CSE shares them, which
+//! directly reduces the number of adders the final single-cycle datapath
+//! needs.
+
+use std::collections::HashMap;
+
+use spark_ir::{Function, OpKind, Value, VarId};
+
+use crate::report::Report;
+
+/// Eliminates repeated pure computations within each basic block.
+///
+/// Two operations are merged when they have the same kind and operands, the
+/// earlier one's destination has not been overwritten in between, and none of
+/// the shared operands has been redefined in between. The later operation is
+/// rewritten into a copy of the earlier destination (and left for dead code
+/// elimination / copy propagation to clean up).
+pub fn common_subexpression_elimination(function: &mut Function) -> Report {
+    let mut report = Report::new("cse", &function.name);
+    let blocks = function.blocks_in_region(function.body);
+    for block in blocks {
+        let ops: Vec<_> = function.blocks[block].ops.clone();
+        // Available expressions: key -> (defining op position, dest var).
+        let mut available: HashMap<String, VarId> = HashMap::new();
+        for op_id in ops {
+            if function.ops[op_id].dead {
+                continue;
+            }
+            let op = function.ops[op_id].clone();
+            // Invalidate expressions that used the variable this op defines.
+            if let Some(defined) = op.def() {
+                available.retain(|key, dest| {
+                    *dest != defined && !key.contains(&format!("v{}", defined.raw()))
+                });
+            }
+            let pure = !op.kind.has_side_effects()
+                && !matches!(op.kind, OpKind::Copy | OpKind::ArrayRead { .. });
+            if !pure || op.dest.is_none() {
+                continue;
+            }
+            let key = expression_key(&op.kind, &op.args);
+            if let Some(&prev_dest) = available.get(&key) {
+                let op_mut = &mut function.ops[op_id];
+                op_mut.kind = OpKind::Copy;
+                op_mut.args = vec![Value::Var(prev_dest)];
+                report.add(1);
+            } else {
+                available.insert(key, op.dest.unwrap());
+            }
+        }
+    }
+    report
+}
+
+fn expression_key(kind: &OpKind, args: &[Value]) -> String {
+    let mut parts: Vec<String> = args
+        .iter()
+        .map(|a| match a {
+            Value::Var(v) => format!("v{}", v.raw()),
+            Value::Const(c) => format!("c{}", c.value()),
+        })
+        .collect();
+    if kind.is_commutative() {
+        parts.sort();
+    }
+    format!("{kind}({})", parts.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spark_ir::{FunctionBuilder, Type};
+
+    #[test]
+    fn shares_repeated_partial_sums() {
+        // t1 = a + b; t2 = a + b; out = t1 + t2
+        let mut b = FunctionBuilder::new("f");
+        let a = b.param("a", Type::Bits(8));
+        let bb = b.param("b", Type::Bits(8));
+        let t1 = b.var("t1", Type::Bits(8));
+        let t2 = b.var("t2", Type::Bits(8));
+        let out = b.var("out", Type::Bits(8));
+        b.assign(OpKind::Add, t1, vec![Value::Var(a), Value::Var(bb)]);
+        b.assign(OpKind::Add, t2, vec![Value::Var(a), Value::Var(bb)]);
+        b.assign(OpKind::Add, out, vec![Value::Var(t1), Value::Var(t2)]);
+        let mut f = b.finish();
+        let report = common_subexpression_elimination(&mut f);
+        assert_eq!(report.changes, 1);
+        let ops = f.live_ops();
+        assert_eq!(f.ops[ops[1]].kind, OpKind::Copy);
+        assert_eq!(f.ops[ops[1]].args[0], Value::Var(t1));
+    }
+
+    #[test]
+    fn commutative_operands_match_in_any_order() {
+        let mut b = FunctionBuilder::new("f");
+        let a = b.param("a", Type::Bits(8));
+        let bb = b.param("b", Type::Bits(8));
+        let t1 = b.var("t1", Type::Bits(8));
+        let t2 = b.var("t2", Type::Bits(8));
+        b.assign(OpKind::Add, t1, vec![Value::Var(a), Value::Var(bb)]);
+        b.assign(OpKind::Add, t2, vec![Value::Var(bb), Value::Var(a)]);
+        let mut f = b.finish();
+        let report = common_subexpression_elimination(&mut f);
+        assert_eq!(report.changes, 1);
+    }
+
+    #[test]
+    fn redefinition_blocks_reuse() {
+        // t1 = a + b; a = 0; t2 = a + b  -- t2 must not reuse t1.
+        let mut b = FunctionBuilder::new("f");
+        let a = b.var("a", Type::Bits(8));
+        let bb = b.param("b", Type::Bits(8));
+        let t1 = b.var("t1", Type::Bits(8));
+        let t2 = b.var("t2", Type::Bits(8));
+        b.assign(OpKind::Add, t1, vec![Value::Var(a), Value::Var(bb)]);
+        b.copy(a, Value::word(0));
+        b.assign(OpKind::Add, t2, vec![Value::Var(a), Value::Var(bb)]);
+        let mut f = b.finish();
+        let report = common_subexpression_elimination(&mut f);
+        assert!(report.is_noop());
+    }
+
+    #[test]
+    fn non_commutative_order_matters() {
+        let mut b = FunctionBuilder::new("f");
+        let a = b.param("a", Type::Bits(8));
+        let bb = b.param("b", Type::Bits(8));
+        let t1 = b.var("t1", Type::Bits(8));
+        let t2 = b.var("t2", Type::Bits(8));
+        b.assign(OpKind::Sub, t1, vec![Value::Var(a), Value::Var(bb)]);
+        b.assign(OpKind::Sub, t2, vec![Value::Var(bb), Value::Var(a)]);
+        let mut f = b.finish();
+        let report = common_subexpression_elimination(&mut f);
+        assert!(report.is_noop());
+    }
+}

@@ -1,0 +1,134 @@
+//! Dead code elimination.
+//!
+//! The paper relies on a dead-code-elimination pass to remove the variable
+//! copies left behind by constant propagation, copy propagation and the
+//! wire-variable insertion of Section 3.1.2 ("a dead code elimination pass
+//! later removes any unnecessary variables and variable copies").
+
+use spark_ir::{DefUse, Function, PortDirection};
+
+use crate::report::Report;
+
+/// Removes operations whose results are never observed.
+///
+/// An operation is dead when it has no side effects and either has no
+/// destination or its destination is an internal variable with no live
+/// readers. Array writes are removed only when the whole array is internal
+/// and never read. The pass iterates to a fixed point because removing one
+/// operation can make its operands' definitions dead in turn.
+pub fn dead_code_elimination(function: &mut Function) -> Report {
+    let mut report = Report::new("dead-code-elimination", &function.name);
+    loop {
+        let def_use = DefUse::compute(function);
+        let mut victims = Vec::new();
+        for op_id in function.live_ops() {
+            let op = &function.ops[op_id];
+            match &op.kind {
+                kind if !kind.has_side_effects() => {
+                    let dead = match op.dest {
+                        None => true,
+                        Some(dest) => def_use.is_dead(function, dest),
+                    };
+                    if dead {
+                        victims.push(op_id);
+                    }
+                }
+                spark_ir::OpKind::ArrayWrite { array } => {
+                    let array_var = &function.vars[*array];
+                    let unread = def_use.uses_of(*array).is_empty();
+                    if array_var.direction != PortDirection::Output && unread {
+                        victims.push(op_id);
+                    }
+                }
+                _ => {}
+            }
+        }
+        if victims.is_empty() {
+            break;
+        }
+        report.add(victims.len());
+        for op in victims {
+            function.kill_op(op);
+        }
+    }
+    // Remove structure (blocks, ifs, loops) that became empty.
+    let pruned = function.prune_empty();
+    if pruned > 0 {
+        report.note(format!("pruned {pruned} empty node(s)"));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spark_ir::{FunctionBuilder, OpKind, Type, Value};
+
+    #[test]
+    fn removes_unused_chain() {
+        let mut b = FunctionBuilder::new("f");
+        let a = b.param("a", Type::Bits(8));
+        let x = b.var("x", Type::Bits(8));
+        let y = b.var("y", Type::Bits(8));
+        let out = b.output("out", Type::Bits(8));
+        b.assign(OpKind::Add, x, vec![Value::Var(a), Value::word(1)]); // feeds y only
+        b.assign(OpKind::Add, y, vec![Value::Var(x), Value::word(1)]); // unused
+        b.copy(out, Value::Var(a));
+        let mut f = b.finish();
+        let report = dead_code_elimination(&mut f);
+        assert_eq!(report.changes, 2, "both x and y definitions removed");
+        assert_eq!(f.live_op_count(), 1);
+    }
+
+    #[test]
+    fn keeps_output_writes_and_side_effects() {
+        let mut b = FunctionBuilder::new("f");
+        let mark = b.output_array("Mark", Type::Bool, 4);
+        let out = b.output("o", Type::Bits(8));
+        b.array_write(mark, Value::word(0), Value::bool(true));
+        b.copy(out, Value::word(3));
+        b.ret(Value::word(0));
+        let mut f = b.finish();
+        let report = dead_code_elimination(&mut f);
+        assert!(report.is_noop());
+        assert_eq!(f.live_op_count(), 3);
+    }
+
+    #[test]
+    fn removes_writes_to_internal_unread_array() {
+        let mut b = FunctionBuilder::new("f");
+        let scratch = b.array("scratch", Type::Bits(8), 4);
+        b.array_write(scratch, Value::word(0), Value::word(1));
+        let mut f = b.finish();
+        dead_code_elimination(&mut f);
+        assert_eq!(f.live_op_count(), 0);
+    }
+
+    #[test]
+    fn empty_conditionals_are_pruned() {
+        let mut b = FunctionBuilder::new("f");
+        let c = b.param("c", Type::Bool);
+        let x = b.var("x", Type::Bits(8));
+        b.if_begin(Value::Var(c));
+        b.copy(x, Value::word(1));
+        b.if_end();
+        let mut f = b.finish();
+        assert_eq!(f.if_count(), 1);
+        dead_code_elimination(&mut f);
+        assert_eq!(f.live_op_count(), 0);
+        assert_eq!(f.if_count(), 0, "the now-empty if node is pruned");
+    }
+
+    #[test]
+    fn keeps_reads_feeding_outputs() {
+        let mut b = FunctionBuilder::new("f");
+        let buf = b.param_array("buf", Type::Bits(8), 4);
+        let out = b.output("o", Type::Bits(8));
+        let x = b.var("x", Type::Bits(8));
+        b.array_read(x, buf, Value::word(1));
+        b.copy(out, Value::Var(x));
+        let mut f = b.finish();
+        dead_code_elimination(&mut f);
+        assert_eq!(f.live_op_count(), 2);
+    }
+}

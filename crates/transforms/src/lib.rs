@@ -1,0 +1,71 @@
+//! # spark-transforms — coordinated parallelizing transformations
+//!
+//! The coarse-grain and fine-grain compiler transformations of the Spark HLS
+//! reproduction (Gupta et al., DAC 2002, Section 3):
+//!
+//! * **Coarse grain:** [`inline_calls`], [`unroll_loop_fully`] /
+//!   [`unroll_all_loops`], [`while_to_for`] (the source-level rewrite of the
+//!   natural Figure 16 description into the synthesizable Figure 10 form).
+//! * **Speculative code motions:** [`speculate`] (hoist pure operations above
+//!   the conditions they depend on — Figure 11), [`reverse_speculation`] and
+//!   [`early_condition_execution`].
+//! * **Fine grain:** [`constant_propagation`] (with folding — Figures 3/14),
+//!   [`copy_propagation`], [`common_subexpression_elimination`] and
+//!   [`dead_code_elimination`].
+//!
+//! Every pass takes a mutable [`Function`](spark_ir::Function) (or
+//! [`Program`](spark_ir::Program) for inlining), preserves the observable
+//! semantics checked by the [`spark_ir::Interpreter`], and returns a
+//! [`Report`] describing what changed, so that the `spark-core` pass manager
+//! can log the per-stage effect exactly as the paper's figures do.
+//!
+//! # Examples
+//!
+//! Unroll and fold the loop of Figure 2/3:
+//!
+//! ```
+//! use spark_ir::{FunctionBuilder, OpKind, Type, Value};
+//! use spark_transforms::{constant_propagation, dead_code_elimination, unroll_all_loops};
+//!
+//! let mut b = FunctionBuilder::new("fig2");
+//! let i = b.var("i", Type::Bits(32));
+//! let acc = b.output("acc", Type::Bits(32));
+//! b.copy(acc, Value::word(0));
+//! b.for_begin(i, 0, Value::word(7), 1);
+//! b.assign(OpKind::Add, acc, vec![Value::Var(acc), Value::Var(i)]);
+//! b.loop_end();
+//! let mut f = b.finish();
+//!
+//! unroll_all_loops(&mut f);
+//! constant_propagation(&mut f);
+//! dead_code_elimination(&mut f);
+//! assert_eq!(f.loop_count(), 0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod code_motion;
+mod const_prop;
+mod copy_prop;
+mod cse;
+mod dce;
+mod inline;
+mod position;
+mod report;
+mod speculation;
+mod unroll;
+mod while_to_for;
+
+pub use code_motion::{early_condition_execution, reverse_speculation};
+pub use const_prop::{constant_propagation, fold_constants};
+pub use copy_prop::copy_propagation;
+pub use cse::common_subexpression_elimination;
+pub use dce::dead_code_elimination;
+pub use inline::inline_calls;
+pub use position::Positions;
+pub use report::Report;
+pub use speculation::{speculate, speculate_with, speculative_op_count, SpeculationOptions};
+pub use unroll::{
+    reachable_loops, unroll_all_loops, unroll_loop_fully, UnrollError, MAX_UNROLL_ITERATIONS,
+};
+pub use while_to_for::while_to_for;

@@ -1,0 +1,181 @@
+//! Structural program positions and a structural dominance test.
+//!
+//! The fine-grain transformations (constant propagation, copy propagation,
+//! CSE) must only forward a value from a definition to a use when the
+//! definition is guaranteed to execute before the use on every path. For the
+//! structured HTG this reduces to a simple *structural dominance* test: the
+//! definition's chain of enclosing regions must be a prefix of the use's
+//! chain, and the definition must come earlier in program order. A definition
+//! buried inside a conditional branch therefore never dominates a use after
+//! the join, while a definition at the top level dominates everything that
+//! follows it.
+
+use std::collections::BTreeMap;
+
+use spark_ir::{Function, HtgNode, OpId, RegionId};
+
+/// Structural position of every live operation in a function.
+#[derive(Clone, Debug, Default)]
+pub struct Positions {
+    /// For each op: the chain of region ids from the function body down to
+    /// the region containing the op's block.
+    region_path: BTreeMap<OpId, Vec<RegionId>>,
+    /// For each op: its index in a pre-order walk of the whole body
+    /// (program order).
+    order: BTreeMap<OpId, usize>,
+    /// For each op: whether any enclosing HTG node is a loop.
+    in_loop: BTreeMap<OpId, bool>,
+}
+
+impl Positions {
+    /// Computes positions for all live operations of `function`.
+    pub fn compute(function: &Function) -> Self {
+        let mut positions = Positions::default();
+        let mut counter = 0usize;
+        let mut path = vec![function.body];
+        walk(function, function.body, &mut path, false, &mut counter, &mut positions);
+        positions
+    }
+
+    /// Program-order index of an operation (`None` for dead/detached ops).
+    pub fn order_of(&self, op: OpId) -> Option<usize> {
+        self.order.get(&op).copied()
+    }
+
+    /// Returns `true` if `op` is nested inside at least one loop.
+    pub fn is_in_loop(&self, op: OpId) -> bool {
+        self.in_loop.get(&op).copied().unwrap_or(false)
+    }
+
+    /// Returns `true` if `def` structurally dominates `user`: `def` executes
+    /// before `user` on every path from the function entry to `user`.
+    ///
+    /// Conservative: operations inside loops never dominate operations
+    /// outside their loop, and definitions inside conditional branches never
+    /// dominate uses outside the branch.
+    pub fn dominates(&self, def: OpId, user: OpId) -> bool {
+        let (Some(def_path), Some(use_path)) = (self.region_path.get(&def), self.region_path.get(&user))
+        else {
+            return false;
+        };
+        let (Some(&def_order), Some(&use_order)) = (self.order.get(&def), self.order.get(&user)) else {
+            return false;
+        };
+        if def_order >= use_order {
+            return false;
+        }
+        // def's region chain must be a prefix of use's region chain.
+        if def_path.len() > use_path.len() {
+            return false;
+        }
+        def_path.iter().zip(use_path.iter()).all(|(a, b)| a == b)
+    }
+}
+
+fn walk(
+    function: &Function,
+    region: RegionId,
+    path: &mut Vec<RegionId>,
+    in_loop: bool,
+    counter: &mut usize,
+    positions: &mut Positions,
+) {
+    for &node in &function.regions[region].nodes {
+        match &function.nodes[node] {
+            HtgNode::Block(b) => {
+                for &op in &function.blocks[*b].ops {
+                    if function.ops[op].dead {
+                        continue;
+                    }
+                    positions.region_path.insert(op, path.clone());
+                    positions.order.insert(op, *counter);
+                    positions.in_loop.insert(op, in_loop);
+                    *counter += 1;
+                }
+            }
+            HtgNode::If(i) => {
+                path.push(i.then_region);
+                walk(function, i.then_region, path, in_loop, counter, positions);
+                path.pop();
+                path.push(i.else_region);
+                walk(function, i.else_region, path, in_loop, counter, positions);
+                path.pop();
+            }
+            HtgNode::Loop(l) => {
+                path.push(l.body);
+                walk(function, l.body, path, true, counter, positions);
+                path.pop();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spark_ir::{FunctionBuilder, OpKind, Type, Value};
+
+    #[test]
+    fn top_level_def_dominates_branch_use() {
+        let mut b = FunctionBuilder::new("f");
+        let c = b.param("c", Type::Bool);
+        let x = b.var("x", Type::Bits(8));
+        let y = b.var("y", Type::Bits(8));
+        let def = b.copy(x, Value::word(1));
+        b.if_begin(Value::Var(c));
+        let use_in_branch = b.assign(OpKind::Add, y, vec![Value::Var(x), Value::word(1)]);
+        b.if_end();
+        let f = b.finish();
+        let pos = Positions::compute(&f);
+        assert!(pos.dominates(def, use_in_branch));
+        assert!(!pos.dominates(use_in_branch, def));
+    }
+
+    #[test]
+    fn branch_def_does_not_dominate_join_use() {
+        let mut b = FunctionBuilder::new("f");
+        let c = b.param("c", Type::Bool);
+        let x = b.var("x", Type::Bits(8));
+        let y = b.var("y", Type::Bits(8));
+        b.if_begin(Value::Var(c));
+        let def = b.copy(x, Value::word(1));
+        b.if_end();
+        let after = b.assign(OpKind::Add, y, vec![Value::Var(x), Value::word(1)]);
+        let f = b.finish();
+        let pos = Positions::compute(&f);
+        assert!(!pos.dominates(def, after));
+    }
+
+    #[test]
+    fn then_def_does_not_dominate_else_use() {
+        let mut b = FunctionBuilder::new("f");
+        let c = b.param("c", Type::Bool);
+        let x = b.var("x", Type::Bits(8));
+        let y = b.var("y", Type::Bits(8));
+        b.if_begin(Value::Var(c));
+        let def = b.copy(x, Value::word(1));
+        b.else_begin();
+        let other = b.assign(OpKind::Add, y, vec![Value::Var(x), Value::word(1)]);
+        b.if_end();
+        let f = b.finish();
+        let pos = Positions::compute(&f);
+        assert!(!pos.dominates(def, other));
+    }
+
+    #[test]
+    fn loop_membership_is_tracked() {
+        let mut b = FunctionBuilder::new("f");
+        let i = b.var("i", Type::Bits(32));
+        let x = b.var("x", Type::Bits(32));
+        let before = b.copy(x, Value::word(0));
+        b.for_begin(i, 1, Value::word(4), 1);
+        let inside = b.assign(OpKind::Add, x, vec![Value::Var(x), Value::Var(i)]);
+        b.loop_end();
+        let f = b.finish();
+        let pos = Positions::compute(&f);
+        assert!(!pos.is_in_loop(before));
+        assert!(pos.is_in_loop(inside));
+        // A def before the loop dominates ops inside it.
+        assert!(pos.dominates(before, inside));
+    }
+}

@@ -1,0 +1,43 @@
+//! Design-space exploration of the ILD: clock-period sweep, buffer-size
+//! scaling, and the ablation study of the coordinated transformations
+//! (Section 4: Spark as an exploration aid for the block designer).
+//!
+//! ```bash
+//! cargo run --example design_space
+//! ```
+
+use spark_core::{ablation_study, format_table, sweep_clock_period, synthesize, FlowOptions};
+use spark_ild::{build_ild_program, ILD_FUNCTION};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 16u32;
+    let program = build_ild_program(n);
+
+    println!("== clock-period sweep (n = {n}) ==");
+    let points = sweep_clock_period(&program, ILD_FUNCTION, &[10.0, 20.0, 40.0, 80.0, 160.0, 320.0])?;
+    println!("{}", format_table(&points));
+
+    println!("== ablation study (n = {n}, clock 500 ns) ==");
+    let ablation = ablation_study(&program, ILD_FUNCTION, 500.0)?;
+    println!("{}", format_table(&ablation));
+
+    println!("== buffer-size scaling (coordinated flow vs ASIC baseline) ==");
+    println!(
+        "{:<6} {:>14} {:>14} {:>16} {:>16}",
+        "n", "spark states", "base states", "spark crit. ns", "spark area"
+    );
+    for n in [4u32, 8, 16, 24, 32] {
+        let program = build_ild_program(n);
+        let spark = synthesize(&program, ILD_FUNCTION, &FlowOptions::microprocessor_block(1000.0))?;
+        let baseline = synthesize(&program, ILD_FUNCTION, &FlowOptions::asic_baseline(20.0))?;
+        println!(
+            "{:<6} {:>14} {:>14} {:>16.2} {:>16.0}",
+            n,
+            spark.report.states,
+            baseline.report.states,
+            spark.report.critical_path_ns,
+            spark.report.area_estimate
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! Quickstart: describe a small behavioral block, run the coordinated flow,
+//! and inspect the result.
+//!
+//! ```bash
+//! cargo run --example quickstart
+//! ```
+
+use spark_core::{synthesize, FlowOptions};
+use spark_ir::{Env, FunctionBuilder, OpKind, Program, Type, Value};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A tiny "max of three saturating sums" block with data-dependent control:
+    // the kind of mixed control/data behaviour Section 3 targets.
+    let mut b = FunctionBuilder::new("max3sum");
+    let x = b.param("x", Type::Bits(8));
+    let y = b.param("y", Type::Bits(8));
+    let z = b.param("z", Type::Bits(8));
+    let best = b.output("best", Type::Bits(8));
+
+    let xy = b.compute(OpKind::Add, Type::Bits(8), vec![Value::Var(x), Value::Var(y)]);
+    let yz = b.compute(OpKind::Add, Type::Bits(8), vec![Value::Var(y), Value::Var(z)]);
+    let gt = b.compute(OpKind::Gt, Type::Bool, vec![Value::Var(xy), Value::Var(yz)]);
+    b.if_begin(Value::Var(gt));
+    b.copy(best, Value::Var(xy));
+    b.else_begin();
+    b.copy(best, Value::Var(yz));
+    b.if_end();
+
+    let mut program = Program::new();
+    program.add_function(b.finish());
+
+    // The microprocessor-block recipe: unlimited resources, chaining across
+    // the conditional, single-cycle target.
+    let result = synthesize(&program, "max3sum", &FlowOptions::microprocessor_block(20.0))?;
+
+    println!("== pass log ==");
+    for pass in &result.pass_log {
+        println!("  {pass}");
+    }
+    println!("\n== datapath report ==\n{}", result.report);
+    println!("single cycle: {}", result.is_single_cycle());
+
+    // Exercise the generated design.
+    let rtl = result.simulate(&Env::new().with_scalar("x", 10).with_scalar("y", 20).with_scalar("z", 5))?;
+    println!("best(10, 20, 5) = {:?}", rtl.scalar("best"));
+
+    println!("\n== generated VHDL (excerpt) ==");
+    for line in result.vhdl().lines().take(24) {
+        println!("{line}");
+    }
+    Ok(())
+}

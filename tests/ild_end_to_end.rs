@@ -1,0 +1,130 @@
+//! End-to-end reproduction of the paper's case study (Sections 5–6).
+//!
+//! The instruction length decoder is synthesized by the coordinated flow and
+//! checked at every level against the golden software model: interpreted
+//! behavioral IR, interpreted IR after every transformation stage, and the
+//! cycle-accurate RTL simulation of the generated single-cycle architecture
+//! (Figure 15).
+
+use spark_core::{synthesize, FlowOptions};
+use spark_ild::{
+    buffer_env, build_ild_natural_program, build_ild_program, decode_marks, instruction_count,
+    long_instruction_buffer, marks_from_outcome, mixed_instruction_buffer, random_buffer,
+    short_instruction_buffer, ILD_FUNCTION, ILD_NATURAL_FUNCTION,
+};
+use spark_ir::Interpreter;
+
+fn golden_window(buffer: &[u8], n: usize) -> Vec<bool> {
+    decode_marks(buffer, n)[1..=n].to_vec()
+}
+
+fn rtl_marks(result: &spark_core::SynthesisResult, buffer: &[u8], n: usize) -> Vec<bool> {
+    let rtl = result.simulate(&buffer_env(buffer)).expect("RTL simulation succeeds");
+    let marks = rtl.array("Mark").expect("Mark output present");
+    (1..=n).map(|i| marks[i] != 0).collect()
+}
+
+#[test]
+fn single_cycle_ild_matches_golden_model_on_random_buffers() {
+    for n in [4usize, 8, 16] {
+        let program = build_ild_program(n as u32);
+        let result = synthesize(&program, ILD_FUNCTION, &FlowOptions::microprocessor_block(500.0))
+            .expect("synthesis succeeds");
+        assert!(result.is_single_cycle(), "n={n}: the ILD must fit a single cycle");
+        for seed in 0..10u64 {
+            let buffer = random_buffer(n, seed);
+            assert_eq!(
+                rtl_marks(&result, &buffer, n),
+                golden_window(&buffer, n),
+                "n={n} seed={seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn single_cycle_ild_matches_golden_model_on_extreme_workloads() {
+    let n = 16usize;
+    let program = build_ild_program(n as u32);
+    let result =
+        synthesize(&program, ILD_FUNCTION, &FlowOptions::microprocessor_block(500.0)).unwrap();
+    for buffer in [
+        short_instruction_buffer(n),
+        long_instruction_buffer(n),
+        mixed_instruction_buffer(n, 11),
+    ] {
+        assert_eq!(rtl_marks(&result, &buffer, n), golden_window(&buffer, n));
+    }
+}
+
+#[test]
+fn natural_description_synthesizes_through_source_level_transformation() {
+    // Figure 16 form: the while(1) description goes through while_to_for,
+    // then the same coordinated flow, and still matches the golden model.
+    let n = 8usize;
+    let program = build_ild_natural_program(n as u32);
+    let result = synthesize(&program, ILD_NATURAL_FUNCTION, &FlowOptions::microprocessor_block(500.0))
+        .expect("natural description synthesizes");
+    assert!(result.is_single_cycle());
+    for seed in [1u64, 5, 9] {
+        let buffer = random_buffer(n, seed);
+        assert_eq!(rtl_marks(&result, &buffer, n), golden_window(&buffer, n), "seed={seed}");
+    }
+}
+
+#[test]
+fn behavioral_description_matches_golden_model_before_any_transformation() {
+    let n = 12usize;
+    let program = build_ild_program(n as u32);
+    let interp = Interpreter::new(&program);
+    for seed in 0..5u64 {
+        let buffer = random_buffer(n, seed);
+        let outcome = interp.run(ILD_FUNCTION, &buffer_env(&buffer)).unwrap();
+        assert_eq!(marks_from_outcome(&outcome, n), golden_window(&buffer, n));
+    }
+}
+
+#[test]
+fn baseline_and_spark_flows_agree_functionally() {
+    // The ASIC baseline takes many cycles but must compute the same marks.
+    let n = 8usize;
+    let program = build_ild_program(n as u32);
+    let spark = synthesize(&program, ILD_FUNCTION, &FlowOptions::microprocessor_block(500.0)).unwrap();
+    let baseline = synthesize(&program, ILD_FUNCTION, &FlowOptions::asic_baseline(20.0)).unwrap();
+    assert!(baseline.report.states > spark.report.states);
+    for seed in [2u64, 4] {
+        let buffer = random_buffer(n, seed);
+        assert_eq!(rtl_marks(&spark, &buffer, n), golden_window(&buffer, n));
+        assert_eq!(rtl_marks(&baseline, &buffer, n), golden_window(&buffer, n));
+    }
+}
+
+#[test]
+fn generated_vhdl_describes_the_single_cycle_architecture() {
+    let n = 4usize;
+    let program = build_ild_program(n as u32);
+    let result = synthesize(&program, ILD_FUNCTION, &FlowOptions::microprocessor_block(500.0)).unwrap();
+    let vhdl = result.vhdl();
+    assert!(vhdl.contains("entity ild is"));
+    // One-hot mark outputs and the expanded byte ports of the buffer.
+    for i in 1..=n {
+        assert!(vhdl.contains(&format!("Mark_{i} : out std_logic")));
+        assert!(vhdl.contains(&format!("buffer_{i} : in std_logic_vector(7 downto 0)")));
+    }
+    // Single-cycle controller: only state 0 exists.
+    assert!(vhdl.contains("when 0 =>"));
+    assert!(!vhdl.contains("when 1 =>"));
+}
+
+#[test]
+fn instruction_density_extremes_are_reflected_in_the_marks() {
+    let n = 22usize;
+    let program = build_ild_program(n as u32);
+    let result = synthesize(&program, ILD_FUNCTION, &FlowOptions::microprocessor_block(500.0)).unwrap();
+    let dense = rtl_marks(&result, &short_instruction_buffer(n), n);
+    let sparse = rtl_marks(&result, &long_instruction_buffer(n), n);
+    assert_eq!(dense.iter().filter(|&&m| m).count(), n);
+    assert_eq!(sparse.iter().filter(|&&m| m).count(), 2);
+    let golden = decode_marks(&long_instruction_buffer(n), n);
+    assert_eq!(instruction_count(&golden), 2);
+}

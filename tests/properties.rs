@@ -1,0 +1,121 @@
+//! Property-based tests over the core invariants of the reproduction.
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+use spark_core::{synthesize, FlowOptions, SynthesisResult};
+use spark_ild::{buffer_env, build_ild_program, decode_marks, ILD_FUNCTION};
+use spark_ir::{verify, Env, FunctionBuilder, Interpreter, OpKind, Program, Type, Value};
+use spark_transforms as xf;
+
+const ILD_N: usize = 8;
+
+fn synthesized_ild() -> &'static SynthesisResult {
+    static RESULT: OnceLock<SynthesisResult> = OnceLock::new();
+    RESULT.get_or_init(|| {
+        let program = build_ild_program(ILD_N as u32);
+        synthesize(&program, ILD_FUNCTION, &FlowOptions::microprocessor_block(500.0))
+            .expect("ILD synthesis succeeds")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The synthesized single-cycle ILD equals the golden software decoder on
+    /// arbitrary instruction buffers.
+    #[test]
+    fn synthesized_ild_equals_golden_on_arbitrary_buffers(bytes in proptest::collection::vec(any::<u8>(), ILD_N)) {
+        let mut buffer = vec![0u8; ILD_N + 4];
+        buffer[1..=ILD_N].copy_from_slice(&bytes);
+        let golden = decode_marks(&buffer, ILD_N);
+        let rtl = synthesized_ild().simulate(&buffer_env(&buffer)).expect("simulation succeeds");
+        let marks = rtl.array("Mark").expect("Mark present");
+        for i in 1..=ILD_N {
+            prop_assert_eq!(marks[i] != 0, golden[i], "byte {}", i);
+        }
+    }
+
+    /// The fine-grain clean-up passes preserve the observable behaviour of a
+    /// small parameterised conditional accumulator, for arbitrary inputs and
+    /// arbitrary constants baked into the code.
+    #[test]
+    fn cleanup_passes_preserve_semantics(a in 0u64..256, b in 0u64..256, k in 0u64..16, c in proptest::bool::ANY) {
+        let mut builder = FunctionBuilder::new("prog");
+        let av = builder.param("a", Type::Bits(8));
+        let bv = builder.param("b", Type::Bits(8));
+        let cv = builder.param("c", Type::Bool);
+        let out = builder.output("out", Type::Bits(8));
+        let t1 = builder.var("t1", Type::Bits(8));
+        let t2 = builder.var("t2", Type::Bits(8));
+        builder.assign(OpKind::Add, t1, vec![Value::Var(av), Value::word(k)]);
+        builder.assign(OpKind::Add, t2, vec![Value::Var(av), Value::word(k)]);
+        builder.if_begin(Value::Var(cv));
+        builder.assign(OpKind::Add, out, vec![Value::Var(t1), Value::Var(bv)]);
+        builder.else_begin();
+        builder.assign(OpKind::Sub, out, vec![Value::Var(t2), Value::Var(bv)]);
+        builder.if_end();
+        let original = builder.finish();
+
+        let mut transformed = original.clone();
+        xf::constant_propagation(&mut transformed);
+        xf::common_subexpression_elimination(&mut transformed);
+        xf::copy_propagation(&mut transformed);
+        xf::dead_code_elimination(&mut transformed);
+        xf::speculate(&mut transformed);
+        xf::copy_propagation(&mut transformed);
+        xf::dead_code_elimination(&mut transformed);
+        prop_assert!(verify(&transformed).is_ok());
+
+        let env = Env::new()
+            .with_scalar("a", a)
+            .with_scalar("b", b)
+            .with_scalar("c", c as u64);
+        let mut p0 = Program::new();
+        p0.add_function(original);
+        let mut p1 = Program::new();
+        p1.add_function(transformed);
+        let before = Interpreter::new(&p0).run("prog", &env).unwrap();
+        let after = Interpreter::new(&p1).run("prog", &env).unwrap();
+        prop_assert_eq!(before.scalar("out"), after.scalar("out"));
+    }
+
+    /// Loop unrolling followed by constant propagation preserves the value of
+    /// an accumulation loop for arbitrary bounds and increments.
+    #[test]
+    fn unrolling_preserves_accumulation(n in 1u64..24, step in 1u64..5, init in 0u64..100) {
+        let build = || {
+            let mut b = FunctionBuilder::new("acc");
+            let i = b.var("i", Type::Bits(32));
+            let acc = b.output("acc", Type::Bits(32));
+            b.copy(acc, Value::word(init));
+            b.for_begin(i, 1, Value::word(n), step as i64);
+            b.assign(OpKind::Add, acc, vec![Value::Var(acc), Value::Var(i)]);
+            b.loop_end();
+            b.finish()
+        };
+        let original = build();
+        let mut transformed = build();
+        xf::unroll_all_loops(&mut transformed);
+        xf::constant_propagation(&mut transformed);
+        xf::dead_code_elimination(&mut transformed);
+        prop_assert_eq!(transformed.loop_count(), 0);
+        prop_assert!(verify(&transformed).is_ok());
+
+        let mut p0 = Program::new();
+        p0.add_function(original);
+        let mut p1 = Program::new();
+        p1.add_function(transformed);
+        let before = Interpreter::new(&p0).run("acc", &Env::new()).unwrap();
+        let after = Interpreter::new(&p1).run("acc", &Env::new()).unwrap();
+        prop_assert_eq!(before.scalar("acc"), after.scalar("acc"));
+    }
+
+    /// The length encoding invariant the whole case study rests on: every
+    /// instruction is 1..=11 bytes long.
+    #[test]
+    fn encoding_length_bounds(b1 in any::<u8>(), b2 in any::<u8>(), b3 in any::<u8>(), b4 in any::<u8>()) {
+        let len = spark_ild::encoding::calculate_length(b1, b2, b3, b4);
+        prop_assert!((1..=spark_ild::encoding::MAX_INSTRUCTION_LENGTH).contains(&len));
+    }
+}
