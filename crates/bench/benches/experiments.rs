@@ -40,13 +40,22 @@ fn bench_fig4_chaining(c: &mut Criterion) {
     let lib = ResourceLibrary::new();
     let mut group = c.benchmark_group("fig4_chaining");
     group.bench_function("cross_conditional", |b| {
-        b.iter(|| schedule(&f, &graph, &lib, &Constraints::microprocessor_block(10.0)).unwrap().num_states)
+        b.iter(|| {
+            schedule(&f, &graph, &lib, &Constraints::microprocessor_block(10.0))
+                .unwrap()
+                .num_states
+        })
     });
     group.bench_function("no_chaining", |b| {
         b.iter(|| {
-            schedule(&f, &graph, &lib, &Constraints::microprocessor_block(10.0).without_chaining())
-                .unwrap()
-                .num_states
+            schedule(
+                &f,
+                &graph,
+                &lib,
+                &Constraints::microprocessor_block(10.0).without_chaining(),
+            )
+            .unwrap()
+            .num_states
         })
     });
     group.finish();

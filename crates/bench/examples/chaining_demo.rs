@@ -45,21 +45,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let trails = cfg.backward_trails(reader_block, 16);
     println!("== backward chaining trails from the reader block ==");
     for trail in &trails {
-        let labels: Vec<&str> = trail.iter().map(|&block| f.blocks[block].label.as_str()).collect();
+        let labels: Vec<&str> = trail
+            .iter()
+            .map(|&block| f.blocks[block].label.as_str())
+            .collect();
         println!("  <{}>", labels.join(", "));
     }
 
     // Schedule for a single cycle and insert wire-variables.
     let graph = DependenceGraph::build(&f)?;
     let library = ResourceLibrary::new();
-    let mut sched = schedule(&f, &graph, &library, &Constraints::microprocessor_block(10.0))?;
+    let mut sched = schedule(
+        &f,
+        &graph,
+        &library,
+        &Constraints::microprocessor_block(10.0),
+    )?;
     let wires = insert_wire_variables(&mut f, &mut sched);
     let graph = DependenceGraph::build(&f)?;
     let chaining = validate_chaining(&f, &graph, &sched, &library)?;
 
     println!("\n== after wire-variable insertion (Figures 6-7) ==\n{f}");
     println!("states: {}", sched.num_states);
-    println!("chained pairs: {} ({} across conditionals)", chaining.chained_pairs, chaining.cross_block_pairs);
+    println!(
+        "chained pairs: {} ({} across conditionals)",
+        chaining.chained_pairs, chaining.cross_block_pairs
+    );
     println!(
         "wire-variables: {}, commit copies: {}, initialisers: {}",
         wires.wires_created, wires.commit_copies, wires.initializers

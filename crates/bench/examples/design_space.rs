@@ -14,7 +14,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let program = build_ild_program(n);
 
     println!("== clock-period sweep (n = {n}) ==");
-    let points = sweep_clock_period(&program, ILD_FUNCTION, &[10.0, 20.0, 40.0, 80.0, 160.0, 320.0])?;
+    let points = sweep_clock_period(
+        &program,
+        ILD_FUNCTION,
+        &[10.0, 20.0, 40.0, 80.0, 160.0, 320.0],
+    )?;
     println!("{}", format_table(&points));
 
     println!("== ablation study (n = {n}, clock 500 ns) ==");
@@ -28,7 +32,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     for n in [4u32, 8, 16, 24, 32] {
         let program = build_ild_program(n);
-        let spark = synthesize(&program, ILD_FUNCTION, &FlowOptions::microprocessor_block(1000.0))?;
+        let spark = synthesize(
+            &program,
+            ILD_FUNCTION,
+            &FlowOptions::microprocessor_block(1000.0),
+        )?;
         let baseline = synthesize(&program, ILD_FUNCTION, &FlowOptions::asic_baseline(20.0))?;
         println!(
             "{:<6} {:>14} {:>14} {:>16.2} {:>16.0}",

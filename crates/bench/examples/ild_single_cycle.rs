@@ -10,11 +10,18 @@ use spark_core::{synthesize, FlowOptions};
 use spark_ild::{buffer_env, build_ild_program, decode_marks, random_buffer, ILD_FUNCTION};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(16);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(16);
     println!("synthesizing the ILD for a {n}-byte instruction buffer\n");
 
     let program = build_ild_program(n as u32);
-    let result = synthesize(&program, ILD_FUNCTION, &FlowOptions::microprocessor_block(1000.0))?;
+    let result = synthesize(
+        &program,
+        ILD_FUNCTION,
+        &FlowOptions::microprocessor_block(1000.0),
+    )?;
 
     println!("== transformation stages (Figures 10-15) ==");
     for stage in &result.stages {
@@ -39,7 +46,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let rtl = result.simulate(&buffer_env(&buffer))?;
         let marks = rtl.array("Mark").expect("Mark output");
         for i in 1..=n {
-            assert_eq!(marks[i] != 0, golden[i], "mismatch at byte {i}, seed {seed}");
+            assert_eq!(
+                marks[i] != 0,
+                golden[i],
+                "mismatch at byte {i}, seed {seed}"
+            );
         }
         checked += 1;
     }

@@ -17,8 +17,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let z = b.param("z", Type::Bits(8));
     let best = b.output("best", Type::Bits(8));
 
-    let xy = b.compute(OpKind::Add, Type::Bits(8), vec![Value::Var(x), Value::Var(y)]);
-    let yz = b.compute(OpKind::Add, Type::Bits(8), vec![Value::Var(y), Value::Var(z)]);
+    let xy = b.compute(
+        OpKind::Add,
+        Type::Bits(8),
+        vec![Value::Var(x), Value::Var(y)],
+    );
+    let yz = b.compute(
+        OpKind::Add,
+        Type::Bits(8),
+        vec![Value::Var(y), Value::Var(z)],
+    );
     let gt = b.compute(OpKind::Gt, Type::Bool, vec![Value::Var(xy), Value::Var(yz)]);
     b.if_begin(Value::Var(gt));
     b.copy(best, Value::Var(xy));
@@ -31,7 +39,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The microprocessor-block recipe: unlimited resources, chaining across
     // the conditional, single-cycle target.
-    let result = synthesize(&program, "max3sum", &FlowOptions::microprocessor_block(20.0))?;
+    let result = synthesize(
+        &program,
+        "max3sum",
+        &FlowOptions::microprocessor_block(20.0),
+    )?;
 
     println!("== pass log ==");
     for pass in &result.pass_log {
@@ -41,7 +53,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("single cycle: {}", result.is_single_cycle());
 
     // Exercise the generated design.
-    let rtl = result.simulate(&Env::new().with_scalar("x", 10).with_scalar("y", 20).with_scalar("z", 5))?;
+    let rtl = result.simulate(
+        &Env::new()
+            .with_scalar("x", 10)
+            .with_scalar("y", 20)
+            .with_scalar("z", 5),
+    )?;
     println!("best(10, 20, 5) = {:?}", rtl.scalar("best"));
 
     println!("\n== generated VHDL (excerpt) ==");

@@ -4,158 +4,12 @@
 //! ```bash
 //! cargo run -p spark-bench --bin reproduce --release
 //! ```
+//!
+//! The actual experiment driver lives in [`spark_bench::experiments`] so the
+//! same code path is covered by `cargo test` (`tests/reproduce_smoke.rs`).
 
-use spark_bench::{
-    figure2_loop, figure2_unrolled_schedule, figure4_fragment, synthesize_ild_baseline,
-    synthesize_ild_natural, synthesize_ild_spark, ILD_SIZES,
-};
-use spark_core::{ablation_study, format_table};
-use spark_ild::{build_ild_program, ILD_FUNCTION};
-use spark_sched::{schedule, Constraints, DependenceGraph, ResourceLibrary};
+use spark_bench::experiments::{run_all, ReproduceOptions};
 
 fn main() {
-    experiment_e1();
-    experiment_e2_to_e4();
-    experiment_e5_to_e8();
-    experiment_e9();
-    experiment_e10();
-    experiment_ablation();
-}
-
-/// E1 — Figures 2–3: loop unrolling + constant propagation expose
-/// cross-iteration parallelism.
-fn experiment_e1() {
-    println!("== E1 (Figures 2-3): unrolling the Op1/Op2 loop ==");
-    println!("{:<6} {:>14} {:>16} {:>18}", "N", "states before", "states after", "ops after unroll");
-    for n in [4u64, 8, 16, 32, 64] {
-        let original = figure2_loop(n);
-        let before = "loop (unschedulable)";
-        let sched = figure2_unrolled_schedule(n);
-        let mut unrolled = figure2_loop(n);
-        spark_transforms::unroll_all_loops(&mut unrolled);
-        spark_transforms::constant_propagation(&mut unrolled);
-        spark_transforms::dead_code_elimination(&mut unrolled);
-        println!(
-            "{:<6} {:>14} {:>16} {:>18}",
-            n,
-            before,
-            sched.num_states,
-            unrolled.live_op_count()
-        );
-        let _ = original;
-    }
-    println!();
-}
-
-/// E2–E4 — Figures 4–7: chaining across conditional boundaries, trails and
-/// wire-variables.
-fn experiment_e2_to_e4() {
-    println!("== E2-E4 (Figures 4-7): chaining across conditional boundaries ==");
-    let f = figure4_fragment();
-    let graph = DependenceGraph::build(&f).expect("loop free");
-    let lib = ResourceLibrary::new();
-    let chained = schedule(&f, &graph, &lib, &Constraints::microprocessor_block(10.0)).unwrap();
-    let mut no_cross = Constraints::microprocessor_block(10.0);
-    no_cross.allow_cross_block_chaining = false;
-    let classical = schedule(&f, &graph, &lib, &no_cross).unwrap();
-    let no_chain = schedule(&f, &graph, &lib, &Constraints::microprocessor_block(10.0).without_chaining()).unwrap();
-    println!("{:<44} {:>8} {:>14}", "configuration", "states", "crit.path ns");
-    println!("{:<44} {:>8} {:>14.2}", "chaining across conditionals (paper)", chained.num_states, chained.critical_path_ns());
-    println!("{:<44} {:>8} {:>14.2}", "chaining within basic blocks only", classical.num_states, classical.critical_path_ns());
-    println!("{:<44} {:>8} {:>14.2}", "no chaining", no_chain.num_states, no_chain.critical_path_ns());
-
-    // Wire-variable statistics on the single-cycle ILD (Figures 6-7 at scale).
-    let result = synthesize_ild_spark(16);
-    println!(
-        "ILD n=16: wire-variables {}, commit copies {}, initialisers {}, chained pairs {}, cross-conditional {}",
-        result.wire_report.wires_created,
-        result.wire_report.commit_copies,
-        result.wire_report.initializers,
-        result.chaining.chained_pairs,
-        result.chaining.cross_block_pairs
-    );
-    println!();
-}
-
-/// E5–E8 — Figures 10–15: the ILD transformation stages and the final
-/// single-cycle architecture across buffer sizes.
-fn experiment_e5_to_e8() {
-    println!("== E5-E8 (Figures 10-15): ILD transformation stages ==");
-    let result = synthesize_ild_spark(16);
-    println!("stage progression (n = 16):");
-    for stage in &result.stages {
-        println!("  {:<24} {}", stage.stage, stage.stats);
-    }
-    println!();
-    println!("final architecture across buffer sizes (coordinated flow):");
-    println!(
-        "{:<6} {:>8} {:>10} {:>14} {:>8} {:>8} {:>10}",
-        "n", "states", "ops", "crit.path ns", "FUs", "regs", "area"
-    );
-    for &n in &ILD_SIZES {
-        let r = synthesize_ild_spark(n);
-        println!(
-            "{:<6} {:>8} {:>10} {:>14.2} {:>8} {:>8} {:>10.0}",
-            n,
-            r.report.states,
-            r.report.operations,
-            r.report.critical_path_ns,
-            r.report.total_functional_units(),
-            r.report.registers,
-            r.report.area_estimate
-        );
-    }
-    println!();
-}
-
-/// E9 — Figure 1 / Section 6: coordinated flow vs classical ASIC baseline.
-fn experiment_e9() {
-    println!("== E9 (Figure 1): coordinated microprocessor-block flow vs ASIC baseline ==");
-    println!(
-        "{:<6} {:>12} {:>12} {:>14} {:>14} {:>12} {:>12}",
-        "n", "spark states", "base states", "spark area", "base area", "spark FUs", "base FUs"
-    );
-    for &n in &ILD_SIZES {
-        let spark = synthesize_ild_spark(n);
-        let baseline = synthesize_ild_baseline(n);
-        println!(
-            "{:<6} {:>12} {:>12} {:>14.0} {:>14.0} {:>12} {:>12}",
-            n,
-            spark.report.states,
-            baseline.report.states,
-            spark.report.area_estimate,
-            baseline.report.area_estimate,
-            spark.report.total_functional_units(),
-            baseline.report.total_functional_units()
-        );
-    }
-    println!();
-}
-
-/// E10 — Figure 16: the natural while(1) description through the
-/// source-level transformation.
-fn experiment_e10() {
-    println!("== E10 (Figure 16): natural description through while-to-for ==");
-    println!("{:<6} {:>8} {:>14} {:>12}", "n", "states", "crit.path ns", "single cycle");
-    for n in [4u32, 8, 16] {
-        let r = synthesize_ild_natural(n);
-        println!(
-            "{:<6} {:>8} {:>14.2} {:>12}",
-            n,
-            r.report.states,
-            r.report.critical_path_ns,
-            r.is_single_cycle()
-        );
-    }
-    println!();
-}
-
-/// Ablation called out in DESIGN.md: each coordinated transformation switched
-/// off individually.
-fn experiment_ablation() {
-    println!("== Ablation (DESIGN.md §3): switching off individual transformations (n = 16) ==");
-    let program = build_ild_program(16);
-    let points = ablation_study(&program, ILD_FUNCTION, spark_bench::SINGLE_CYCLE_CLOCK_NS)
-        .expect("ablation study runs");
-    println!("{}", format_table(&points));
+    run_all(&ReproduceOptions::paper());
 }

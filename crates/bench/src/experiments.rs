@@ -1,0 +1,227 @@
+//! The experiment driver behind the `reproduce` binary.
+//!
+//! Lives in the library (rather than in `src/bin/reproduce.rs`) so that the
+//! paper-reproduction path is exercised by `cargo test` — see
+//! `tests/reproduce_smoke.rs` — and not only by manual runs. The binary
+//! calls [`run_all`] with [`ReproduceOptions::paper`]; the smoke test uses
+//! [`ReproduceOptions::smoke`], the same code path on the smallest ILD.
+
+use crate::{
+    figure2_loop, figure2_unrolled_schedule, figure4_fragment, synthesize_ild_baseline,
+    synthesize_ild_natural, synthesize_ild_spark, ILD_SIZES, SINGLE_CYCLE_CLOCK_NS,
+};
+use spark_core::{ablation_study, format_table};
+use spark_ild::{build_ild_program, ILD_FUNCTION};
+use spark_sched::{schedule, Constraints, DependenceGraph, ResourceLibrary};
+
+/// Which parameter points the experiments sweep.
+#[derive(Debug, Clone)]
+pub struct ReproduceOptions {
+    /// Buffer sizes swept by the ILD experiments (E1, E5–E9).
+    pub sizes: Vec<u32>,
+    /// The single size used for stage-by-stage and wire-variable detail.
+    pub detail_n: u32,
+    /// Buffer sizes for the natural-description experiment (E10).
+    pub natural_sizes: Vec<u32>,
+}
+
+impl ReproduceOptions {
+    /// The full sweep reported in `EXPERIMENTS.md` (the paper's figures).
+    pub fn paper() -> Self {
+        ReproduceOptions {
+            sizes: ILD_SIZES.to_vec(),
+            detail_n: 16,
+            natural_sizes: vec![4, 8, 16],
+        }
+    }
+
+    /// A minimal sweep over the smallest ILD, cheap enough for `cargo test`.
+    pub fn smoke() -> Self {
+        ReproduceOptions {
+            sizes: vec![4],
+            detail_n: 4,
+            natural_sizes: vec![4],
+        }
+    }
+}
+
+/// Runs every experiment, printing the figure-level tables to stdout.
+pub fn run_all(opts: &ReproduceOptions) {
+    experiment_e1(opts);
+    experiment_e2_to_e4(opts);
+    experiment_e5_to_e8(opts);
+    experiment_e9(opts);
+    experiment_e10(opts);
+    experiment_ablation(opts);
+}
+
+/// E1 — Figures 2–3: loop unrolling + constant propagation expose
+/// cross-iteration parallelism.
+fn experiment_e1(opts: &ReproduceOptions) {
+    println!("== E1 (Figures 2-3): unrolling the Op1/Op2 loop ==");
+    println!(
+        "{:<6} {:>14} {:>16} {:>18}",
+        "N", "states before", "states after", "ops after unroll"
+    );
+    for &n in &opts.sizes {
+        let n = n as u64;
+        let before = "loop (unschedulable)";
+        let sched = figure2_unrolled_schedule(n);
+        let mut unrolled = figure2_loop(n);
+        spark_transforms::unroll_all_loops(&mut unrolled);
+        spark_transforms::constant_propagation(&mut unrolled);
+        spark_transforms::dead_code_elimination(&mut unrolled);
+        println!(
+            "{:<6} {:>14} {:>16} {:>18}",
+            n,
+            before,
+            sched.num_states,
+            unrolled.live_op_count()
+        );
+    }
+    println!();
+}
+
+/// E2–E4 — Figures 4–7: chaining across conditional boundaries, trails and
+/// wire-variables.
+fn experiment_e2_to_e4(opts: &ReproduceOptions) {
+    println!("== E2-E4 (Figures 4-7): chaining across conditional boundaries ==");
+    let f = figure4_fragment();
+    let graph = DependenceGraph::build(&f).expect("loop free");
+    let lib = ResourceLibrary::new();
+    let chained = schedule(&f, &graph, &lib, &Constraints::microprocessor_block(10.0)).unwrap();
+    let mut no_cross = Constraints::microprocessor_block(10.0);
+    no_cross.allow_cross_block_chaining = false;
+    let classical = schedule(&f, &graph, &lib, &no_cross).unwrap();
+    let no_chain = schedule(
+        &f,
+        &graph,
+        &lib,
+        &Constraints::microprocessor_block(10.0).without_chaining(),
+    )
+    .unwrap();
+    println!(
+        "{:<44} {:>8} {:>14}",
+        "configuration", "states", "crit.path ns"
+    );
+    println!(
+        "{:<44} {:>8} {:>14.2}",
+        "chaining across conditionals (paper)",
+        chained.num_states,
+        chained.critical_path_ns()
+    );
+    println!(
+        "{:<44} {:>8} {:>14.2}",
+        "chaining within basic blocks only",
+        classical.num_states,
+        classical.critical_path_ns()
+    );
+    println!(
+        "{:<44} {:>8} {:>14.2}",
+        "no chaining",
+        no_chain.num_states,
+        no_chain.critical_path_ns()
+    );
+
+    // Wire-variable statistics on the single-cycle ILD (Figures 6-7 at scale).
+    let result = synthesize_ild_spark(opts.detail_n);
+    println!(
+        "ILD n={}: wire-variables {}, commit copies {}, initialisers {}, chained pairs {}, cross-conditional {}",
+        opts.detail_n,
+        result.wire_report.wires_created,
+        result.wire_report.commit_copies,
+        result.wire_report.initializers,
+        result.chaining.chained_pairs,
+        result.chaining.cross_block_pairs
+    );
+    println!();
+}
+
+/// E5–E8 — Figures 10–15: the ILD transformation stages and the final
+/// single-cycle architecture across buffer sizes.
+fn experiment_e5_to_e8(opts: &ReproduceOptions) {
+    println!("== E5-E8 (Figures 10-15): ILD transformation stages ==");
+    let result = synthesize_ild_spark(opts.detail_n);
+    println!("stage progression (n = {}):", opts.detail_n);
+    for stage in &result.stages {
+        println!("  {:<24} {}", stage.stage, stage.stats);
+    }
+    println!();
+    println!("final architecture across buffer sizes (coordinated flow):");
+    println!(
+        "{:<6} {:>8} {:>10} {:>14} {:>8} {:>8} {:>10}",
+        "n", "states", "ops", "crit.path ns", "FUs", "regs", "area"
+    );
+    for &n in &opts.sizes {
+        let r = synthesize_ild_spark(n);
+        println!(
+            "{:<6} {:>8} {:>10} {:>14.2} {:>8} {:>8} {:>10.0}",
+            n,
+            r.report.states,
+            r.report.operations,
+            r.report.critical_path_ns,
+            r.report.total_functional_units(),
+            r.report.registers,
+            r.report.area_estimate
+        );
+    }
+    println!();
+}
+
+/// E9 — Figure 1 / Section 6: coordinated flow vs classical ASIC baseline.
+fn experiment_e9(opts: &ReproduceOptions) {
+    println!("== E9 (Figure 1): coordinated microprocessor-block flow vs ASIC baseline ==");
+    println!(
+        "{:<6} {:>12} {:>12} {:>14} {:>14} {:>12} {:>12}",
+        "n", "spark states", "base states", "spark area", "base area", "spark FUs", "base FUs"
+    );
+    for &n in &opts.sizes {
+        let spark = synthesize_ild_spark(n);
+        let baseline = synthesize_ild_baseline(n);
+        println!(
+            "{:<6} {:>12} {:>12} {:>14.0} {:>14.0} {:>12} {:>12}",
+            n,
+            spark.report.states,
+            baseline.report.states,
+            spark.report.area_estimate,
+            baseline.report.area_estimate,
+            spark.report.total_functional_units(),
+            baseline.report.total_functional_units()
+        );
+    }
+    println!();
+}
+
+/// E10 — Figure 16: the natural while(1) description through the
+/// source-level transformation.
+fn experiment_e10(opts: &ReproduceOptions) {
+    println!("== E10 (Figure 16): natural description through while-to-for ==");
+    println!(
+        "{:<6} {:>8} {:>14} {:>12}",
+        "n", "states", "crit.path ns", "single cycle"
+    );
+    for &n in &opts.natural_sizes {
+        let r = synthesize_ild_natural(n);
+        println!(
+            "{:<6} {:>8} {:>14.2} {:>12}",
+            n,
+            r.report.states,
+            r.report.critical_path_ns,
+            r.is_single_cycle()
+        );
+    }
+    println!();
+}
+
+/// Ablation called out in DESIGN.md: each coordinated transformation switched
+/// off individually.
+fn experiment_ablation(opts: &ReproduceOptions) {
+    println!(
+        "== Ablation (DESIGN.md §3): switching off individual transformations (n = {}) ==",
+        opts.detail_n
+    );
+    let program = build_ild_program(opts.detail_n);
+    let points =
+        ablation_study(&program, ILD_FUNCTION, SINGLE_CYCLE_CLOCK_NS).expect("ablation study runs");
+    println!("{}", format_table(&points));
+}

@@ -11,6 +11,8 @@
 
 #![warn(missing_docs)]
 
+pub mod experiments;
+
 use spark_core::{synthesize, FlowOptions, SynthesisResult};
 use spark_ild::{build_ild_natural_program, build_ild_program, ILD_FUNCTION, ILD_NATURAL_FUNCTION};
 use spark_ir::{Function, FunctionBuilder, OpKind, Type, Value};
@@ -38,7 +40,11 @@ pub fn figure2_loop(n: u64) -> Function {
     b.for_begin(i, 0, Value::word(n - 1), 1);
     b.array_read(t, input, Value::Var(i));
     b.assign(OpKind::Add, r1, vec![Value::Var(t), Value::Var(i)]);
-    let d = b.compute(OpKind::Mul, Type::Bits(32), vec![Value::Var(r1), Value::word(3)]);
+    let d = b.compute(
+        OpKind::Mul,
+        Type::Bits(32),
+        vec![Value::Var(r1), Value::word(3)],
+    );
     b.array_write(r2, Value::Var(i), Value::Var(d));
     b.loop_end();
     b.finish()
@@ -53,8 +59,13 @@ pub fn figure2_unrolled_schedule(n: u64) -> Schedule {
     xf::copy_propagation(&mut f);
     xf::dead_code_elimination(&mut f);
     let graph = DependenceGraph::build(&f).expect("loop-free after unrolling");
-    schedule(&f, &graph, &ResourceLibrary::new(), &Constraints::microprocessor_block(200.0))
-        .expect("schedulable")
+    schedule(
+        &f,
+        &graph,
+        &ResourceLibrary::new(),
+        &Constraints::microprocessor_block(200.0),
+    )
+    .expect("schedulable")
 }
 
 /// Builds the Figure 4 conditional-chaining fragment.
@@ -85,15 +96,23 @@ pub fn figure4_fragment() -> Function {
 /// Synthesizes the ILD with the coordinated microprocessor-block flow.
 pub fn synthesize_ild_spark(n: u32) -> SynthesisResult {
     let program = build_ild_program(n);
-    synthesize(&program, ILD_FUNCTION, &FlowOptions::microprocessor_block(SINGLE_CYCLE_CLOCK_NS))
-        .expect("coordinated ILD synthesis succeeds")
+    synthesize(
+        &program,
+        ILD_FUNCTION,
+        &FlowOptions::microprocessor_block(SINGLE_CYCLE_CLOCK_NS),
+    )
+    .expect("coordinated ILD synthesis succeeds")
 }
 
 /// Synthesizes the ILD with the classical ASIC baseline flow.
 pub fn synthesize_ild_baseline(n: u32) -> SynthesisResult {
     let program = build_ild_program(n);
-    synthesize(&program, ILD_FUNCTION, &FlowOptions::asic_baseline(BASELINE_CLOCK_NS))
-        .expect("baseline ILD synthesis succeeds")
+    synthesize(
+        &program,
+        ILD_FUNCTION,
+        &FlowOptions::asic_baseline(BASELINE_CLOCK_NS),
+    )
+    .expect("baseline ILD synthesis succeeds")
 }
 
 /// Synthesizes the natural Figure 16 form of the ILD.

@@ -6,9 +6,7 @@
 use spark_core::{ablation_study, synthesize, FlowOptions};
 use spark_ild::{build_ild_program, ILD_FUNCTION};
 use spark_ir::{FunctionBuilder, FunctionStats, OpKind, Type, Value};
-use spark_sched::{
-    schedule, Constraints, DependenceGraph, FuClass, ResourceLibrary,
-};
+use spark_sched::{schedule, Constraints, DependenceGraph, FuClass, ResourceLibrary};
 use spark_transforms as xf;
 
 /// Figure 2/3: the synthetic Op1/Op2 loop. Full unrolling plus constant
@@ -28,7 +26,11 @@ fn figure2_unroll_and_const_prop_expose_parallelism() {
         b.for_begin(i, 0, Value::word(n - 1), 1);
         b.array_read(t, input, Value::Var(i));
         b.assign(OpKind::Add, r1, vec![Value::Var(t), Value::Var(i)]); // Op1
-        let d = b.compute(OpKind::Mul, Type::Bits(32), vec![Value::Var(r1), Value::word(3)]); // Op2
+        let d = b.compute(
+            OpKind::Mul,
+            Type::Bits(32),
+            vec![Value::Var(r1), Value::word(3)],
+        ); // Op2
         b.array_write(r2, Value::Var(i), Value::Var(d));
         b.loop_end();
         b.finish()
@@ -44,8 +46,15 @@ fn figure2_unroll_and_const_prop_expose_parallelism() {
     let graph = DependenceGraph::build(&f).unwrap();
     let lib = ResourceLibrary::new();
     let sched = schedule(&f, &graph, &lib, &Constraints::microprocessor_block(50.0)).unwrap();
-    assert_eq!(sched.num_states, 1, "all iterations execute concurrently (Figure 3)");
-    assert_eq!(sched.fu_instances[&FuClass::Multiplier], n as usize, "one Op2 unit per iteration");
+    assert_eq!(
+        sched.num_states, 1,
+        "all iterations execute concurrently (Figure 3)"
+    );
+    assert_eq!(
+        sched.fu_instances[&FuClass::Multiplier],
+        n as usize,
+        "one Op2 unit per iteration"
+    );
     // One Op1 adder per iteration, except the i = 0 iteration whose `+ 0`
     // folds away during constant propagation.
     assert!(sched.fu_instances[&FuClass::Adder] >= n as usize - 1);
@@ -94,7 +103,10 @@ fn figure4_chaining_across_conditional_boundaries() {
     let mut no_cross = Constraints::microprocessor_block(10.0);
     no_cross.allow_cross_block_chaining = false;
     let classical = schedule(&f, &graph, &lib, &no_cross).unwrap();
-    assert!(classical.num_states > 1, "without cross-conditional chaining the schedule stretches");
+    assert!(
+        classical.num_states > 1,
+        "without cross-conditional chaining the schedule stretches"
+    );
 }
 
 /// Figures 10→15: the coordinated pipeline stages grow the operation count
@@ -104,7 +116,12 @@ fn figure4_chaining_across_conditional_boundaries() {
 fn figures_10_to_15_stage_progression() {
     let n = 8u32;
     let program = build_ild_program(n);
-    let result = synthesize(&program, ILD_FUNCTION, &FlowOptions::microprocessor_block(500.0)).unwrap();
+    let result = synthesize(
+        &program,
+        ILD_FUNCTION,
+        &FlowOptions::microprocessor_block(500.0),
+    )
+    .unwrap();
 
     let stage = |name: &str| -> FunctionStats {
         result
@@ -133,11 +150,17 @@ fn figures_10_to_15_stage_progression() {
     // per-byte marking guards; the scheduled design is a single state.
     assert!(cleanup.operations < unroll.operations);
     assert_eq!(result.report.states, 1);
-    assert!(scheduled.operations >= cleanup.operations, "wire insertion adds commit copies");
+    assert!(
+        scheduled.operations >= cleanup.operations,
+        "wire insertion adds commit copies"
+    );
     // The data-calculation / control-logic / ripple structure of Figure 15
     // shows up as many speculative ops feeding mux/steering logic.
     assert!(result.wire_report.wires_created > 0);
-    assert!(result.chaining.cross_block_pairs > 0, "chaining across conditional boundaries happened");
+    assert!(
+        result.chaining.cross_block_pairs > 0,
+        "chaining across conditional boundaries happened"
+    );
 }
 
 /// Figure 1 / Section 6: the ablation — removing any single coordinated
@@ -154,8 +177,14 @@ fn ablation_shows_coordination_is_required() {
             .find(|p| p.label.contains(label))
             .unwrap_or_else(|| panic!("configuration `{label}` present"))
     };
-    let coordinated = point("coordinated").report.as_ref().expect("coordinated flow succeeds");
-    let baseline = point("ASIC baseline").report.as_ref().expect("baseline flow succeeds");
+    let coordinated = point("coordinated")
+        .report
+        .as_ref()
+        .expect("coordinated flow succeeds");
+    let baseline = point("ASIC baseline")
+        .report
+        .as_ref()
+        .expect("baseline flow succeeds");
 
     assert_eq!(coordinated.states, 1);
     // "Loops in single cycle designs must, of course, be unrolled completely"

@@ -19,7 +19,9 @@ fn golden_window(buffer: &[u8], n: usize) -> Vec<bool> {
 }
 
 fn rtl_marks(result: &spark_core::SynthesisResult, buffer: &[u8], n: usize) -> Vec<bool> {
-    let rtl = result.simulate(&buffer_env(buffer)).expect("RTL simulation succeeds");
+    let rtl = result
+        .simulate(&buffer_env(buffer))
+        .expect("RTL simulation succeeds");
     let marks = rtl.array("Mark").expect("Mark output present");
     (1..=n).map(|i| marks[i] != 0).collect()
 }
@@ -28,9 +30,16 @@ fn rtl_marks(result: &spark_core::SynthesisResult, buffer: &[u8], n: usize) -> V
 fn single_cycle_ild_matches_golden_model_on_random_buffers() {
     for n in [4usize, 8, 16] {
         let program = build_ild_program(n as u32);
-        let result = synthesize(&program, ILD_FUNCTION, &FlowOptions::microprocessor_block(500.0))
-            .expect("synthesis succeeds");
-        assert!(result.is_single_cycle(), "n={n}: the ILD must fit a single cycle");
+        let result = synthesize(
+            &program,
+            ILD_FUNCTION,
+            &FlowOptions::microprocessor_block(500.0),
+        )
+        .expect("synthesis succeeds");
+        assert!(
+            result.is_single_cycle(),
+            "n={n}: the ILD must fit a single cycle"
+        );
         for seed in 0..10u64 {
             let buffer = random_buffer(n, seed);
             assert_eq!(
@@ -46,8 +55,12 @@ fn single_cycle_ild_matches_golden_model_on_random_buffers() {
 fn single_cycle_ild_matches_golden_model_on_extreme_workloads() {
     let n = 16usize;
     let program = build_ild_program(n as u32);
-    let result =
-        synthesize(&program, ILD_FUNCTION, &FlowOptions::microprocessor_block(500.0)).unwrap();
+    let result = synthesize(
+        &program,
+        ILD_FUNCTION,
+        &FlowOptions::microprocessor_block(500.0),
+    )
+    .unwrap();
     for buffer in [
         short_instruction_buffer(n),
         long_instruction_buffer(n),
@@ -63,12 +76,20 @@ fn natural_description_synthesizes_through_source_level_transformation() {
     // then the same coordinated flow, and still matches the golden model.
     let n = 8usize;
     let program = build_ild_natural_program(n as u32);
-    let result = synthesize(&program, ILD_NATURAL_FUNCTION, &FlowOptions::microprocessor_block(500.0))
-        .expect("natural description synthesizes");
+    let result = synthesize(
+        &program,
+        ILD_NATURAL_FUNCTION,
+        &FlowOptions::microprocessor_block(500.0),
+    )
+    .expect("natural description synthesizes");
     assert!(result.is_single_cycle());
     for seed in [1u64, 5, 9] {
         let buffer = random_buffer(n, seed);
-        assert_eq!(rtl_marks(&result, &buffer, n), golden_window(&buffer, n), "seed={seed}");
+        assert_eq!(
+            rtl_marks(&result, &buffer, n),
+            golden_window(&buffer, n),
+            "seed={seed}"
+        );
     }
 }
 
@@ -89,7 +110,12 @@ fn baseline_and_spark_flows_agree_functionally() {
     // The ASIC baseline takes many cycles but must compute the same marks.
     let n = 8usize;
     let program = build_ild_program(n as u32);
-    let spark = synthesize(&program, ILD_FUNCTION, &FlowOptions::microprocessor_block(500.0)).unwrap();
+    let spark = synthesize(
+        &program,
+        ILD_FUNCTION,
+        &FlowOptions::microprocessor_block(500.0),
+    )
+    .unwrap();
     let baseline = synthesize(&program, ILD_FUNCTION, &FlowOptions::asic_baseline(20.0)).unwrap();
     assert!(baseline.report.states > spark.report.states);
     for seed in [2u64, 4] {
@@ -103,7 +129,12 @@ fn baseline_and_spark_flows_agree_functionally() {
 fn generated_vhdl_describes_the_single_cycle_architecture() {
     let n = 4usize;
     let program = build_ild_program(n as u32);
-    let result = synthesize(&program, ILD_FUNCTION, &FlowOptions::microprocessor_block(500.0)).unwrap();
+    let result = synthesize(
+        &program,
+        ILD_FUNCTION,
+        &FlowOptions::microprocessor_block(500.0),
+    )
+    .unwrap();
     let vhdl = result.vhdl();
     assert!(vhdl.contains("entity ild is"));
     // One-hot mark outputs and the expanded byte ports of the buffer.
@@ -120,7 +151,12 @@ fn generated_vhdl_describes_the_single_cycle_architecture() {
 fn instruction_density_extremes_are_reflected_in_the_marks() {
     let n = 22usize;
     let program = build_ild_program(n as u32);
-    let result = synthesize(&program, ILD_FUNCTION, &FlowOptions::microprocessor_block(500.0)).unwrap();
+    let result = synthesize(
+        &program,
+        ILD_FUNCTION,
+        &FlowOptions::microprocessor_block(500.0),
+    )
+    .unwrap();
     let dense = rtl_marks(&result, &short_instruction_buffer(n), n);
     let sparse = rtl_marks(&result, &long_instruction_buffer(n), n);
     assert_eq!(dense.iter().filter(|&&m| m).count(), n);

@@ -14,8 +14,12 @@ fn synthesized_ild() -> &'static SynthesisResult {
     static RESULT: OnceLock<SynthesisResult> = OnceLock::new();
     RESULT.get_or_init(|| {
         let program = build_ild_program(ILD_N as u32);
-        synthesize(&program, ILD_FUNCTION, &FlowOptions::microprocessor_block(500.0))
-            .expect("ILD synthesis succeeds")
+        synthesize(
+            &program,
+            ILD_FUNCTION,
+            &FlowOptions::microprocessor_block(500.0),
+        )
+        .expect("ILD synthesis succeeds")
     })
 }
 

@@ -1,0 +1,24 @@
+//! Smoke test for the paper-reproduction driver: runs the exact entry point
+//! of the `reproduce` binary on the smallest ILD size, so the figure
+//! pipeline cannot rot between manual runs.
+
+use spark_bench::experiments::{run_all, ReproduceOptions};
+
+#[test]
+fn reproduce_driver_runs_on_smallest_ild() {
+    // Runs every experiment (E1, E2-E4, E5-E8, E9, E10, ablation) end to
+    // end; any panic or failed synthesis inside the driver fails the test.
+    run_all(&ReproduceOptions::smoke());
+}
+
+#[test]
+fn smoke_options_are_a_strict_subset_of_the_paper_sweep() {
+    let paper = ReproduceOptions::paper();
+    let smoke = ReproduceOptions::smoke();
+    assert!(smoke.sizes.iter().all(|n| paper.sizes.contains(n)));
+    assert!(smoke.detail_n <= paper.detail_n);
+    assert!(smoke
+        .natural_sizes
+        .iter()
+        .all(|n| paper.natural_sizes.contains(n)));
+}

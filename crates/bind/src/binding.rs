@@ -92,7 +92,9 @@ impl Binding {
 
         // ---- Functional-unit binding: reuse the scheduler's instance packing.
         for op_id in function.live_ops() {
-            let Some(&instance) = schedule.op_instance.get(&op_id) else { continue };
+            let Some(&instance) = schedule.op_instance.get(&op_id) else {
+                continue;
+            };
             let op = &function.ops[op_id];
             let class = FuClass::for_op(&op.kind);
             if class.is_free() || library.op_area(&op.kind, &op.args) == 0.0 {
@@ -100,7 +102,10 @@ impl Binding {
             }
             let instances = binding.fu_instances.entry(class).or_default();
             while instances.len() <= instance {
-                instances.push(FuInstance { class: Some(class), ops: Vec::new() });
+                instances.push(FuInstance {
+                    class: Some(class),
+                    ops: Vec::new(),
+                });
             }
             instances[instance].ops.push(op_id);
         }
@@ -117,7 +122,8 @@ impl Binding {
         // ---- Area estimate: units + registers + steering.
         let mut area = 0.0;
         for (class, instances) in &binding.fu_instances {
-            area += library.spec(*class).area * instances.iter().filter(|i| !i.ops.is_empty()).count() as f64;
+            area += library.spec(*class).area
+                * instances.iter().filter(|i| !i.ops.is_empty()).count() as f64;
         }
         for register in &binding.registers {
             area += library.register_bit_area * f64::from(register.width);
@@ -126,7 +132,8 @@ impl Binding {
         for (_, var) in function.vars.iter() {
             if var.direction == PortDirection::Output {
                 if let Some(length) = var.array_length() {
-                    area += library.register_bit_area * f64::from(var.ty.width()) * f64::from(length);
+                    area +=
+                        library.register_bit_area * f64::from(var.ty.width()) * f64::from(length);
                 }
             }
         }
@@ -142,7 +149,11 @@ impl Binding {
 
     /// Total number of (non-free) functional-unit instances.
     pub fn fu_count(&self) -> usize {
-        self.fu_instances.values().flatten().filter(|i| !i.ops.is_empty()).count()
+        self.fu_instances
+            .values()
+            .flatten()
+            .filter(|i| !i.ops.is_empty())
+            .count()
     }
 }
 

@@ -50,7 +50,9 @@ impl LifetimeAnalysis {
         let mut last_def: BTreeMap<VarId, usize> = BTreeMap::new();
         let mut last_use: BTreeMap<VarId, usize> = BTreeMap::new();
         for op_id in function.live_ops() {
-            let Some(&state) = schedule.op_state.get(&op_id) else { continue };
+            let Some(&state) = schedule.op_state.get(&op_id) else {
+                continue;
+            };
             let op = &function.ops[op_id];
             for used in op.uses() {
                 let entry = last_use.entry(used).or_insert(state);
@@ -83,7 +85,13 @@ impl LifetimeAnalysis {
                 let last = read_state
                     .unwrap_or(def_state)
                     .max(last_def.get(&var_id).copied().unwrap_or(def_state));
-                analysis.registered.insert(var_id, Lifetime { first_def: def_state, last_use: last });
+                analysis.registered.insert(
+                    var_id,
+                    Lifetime {
+                        first_def: def_state,
+                        last_use: last,
+                    },
+                );
             } else {
                 analysis.wires.push(var_id);
             }
@@ -123,7 +131,10 @@ mod tests {
         let (sched, analysis) = analyse(&f, 10.0);
         assert_eq!(sched.num_states, 1);
         assert!(analysis.wires.contains(&t), "t lives within one cycle");
-        assert!(analysis.registered.contains_key(&out), "outputs are registered");
+        assert!(
+            analysis.registered.contains_key(&out),
+            "outputs are registered"
+        );
         assert_eq!(analysis.register_count(), 1);
     }
 
@@ -139,7 +150,10 @@ mod tests {
         // A 2.5 ns clock fits only one 2.0 ns adder per state.
         let (sched, analysis) = analyse(&f, 2.5);
         assert_eq!(sched.num_states, 2);
-        assert!(analysis.registered.contains_key(&t), "t crosses a state boundary");
+        assert!(
+            analysis.registered.contains_key(&t),
+            "t crosses a state boundary"
+        );
         let lifetime = analysis.registered[&t];
         assert_eq!(lifetime.first_def, 0);
         assert_eq!(lifetime.last_use, 1);
@@ -161,9 +175,18 @@ mod tests {
 
     #[test]
     fn lifetime_overlap() {
-        let a = Lifetime { first_def: 0, last_use: 2 };
-        let b = Lifetime { first_def: 2, last_use: 3 };
-        let c = Lifetime { first_def: 3, last_use: 4 };
+        let a = Lifetime {
+            first_def: 0,
+            last_use: 2,
+        };
+        let b = Lifetime {
+            first_def: 2,
+            last_use: 3,
+        };
+        let c = Lifetime {
+            first_def: 3,
+            last_use: 4,
+        };
         assert!(a.overlaps(&b));
         assert!(!a.overlaps(&c));
         assert!(b.overlaps(&c));

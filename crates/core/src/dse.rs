@@ -57,7 +57,8 @@ pub fn ablation_study(
     clock_period_ns: f64,
 ) -> Result<Vec<DesignPoint>, SynthesisError> {
     let full = FlowOptions::microprocessor_block(clock_period_ns);
-    let mut configurations: Vec<(String, FlowOptions)> = vec![("coordinated (all on)".into(), full.clone())];
+    let mut configurations: Vec<(String, FlowOptions)> =
+        vec![("coordinated (all on)".into(), full.clone())];
 
     let mut no_speculation = full.clone();
     no_speculation.speculate = false;
@@ -75,7 +76,10 @@ pub fn ablation_study(
     no_cse.cse = false;
     configurations.push(("no CSE".into(), no_cse));
 
-    configurations.push(("ASIC baseline".into(), FlowOptions::asic_baseline(clock_period_ns)));
+    configurations.push((
+        "ASIC baseline".into(),
+        FlowOptions::asic_baseline(clock_period_ns),
+    ));
 
     let mut points = Vec::new();
     for (label, options) in configurations {
@@ -86,7 +90,11 @@ pub fn ablation_study(
             }
             Err(SynthesisError::Scheduling(_)) => None,
         };
-        points.push(DesignPoint { label, clock_period_ns, report });
+        points.push(DesignPoint {
+            label,
+            clock_period_ns,
+            report,
+        });
     }
     Ok(points)
 }

@@ -89,7 +89,9 @@ impl FlowOptions {
 
     fn constraints(&self) -> Constraints {
         match self.mode {
-            FlowMode::MicroprocessorBlock => Constraints::microprocessor_block(self.clock_period_ns),
+            FlowMode::MicroprocessorBlock => {
+                Constraints::microprocessor_block(self.clock_period_ns)
+            }
             FlowMode::AsicBaseline => Constraints::asic_baseline(self.clock_period_ns),
         }
     }
@@ -159,7 +161,13 @@ pub struct SynthesisResult {
 impl SynthesisResult {
     /// Emits the register-transfer-level VHDL of the design.
     pub fn vhdl(&self) -> String {
-        VhdlEmitter::new(&self.function, &self.graph, &self.schedule, &self.controller).emit()
+        VhdlEmitter::new(
+            &self.function,
+            &self.graph,
+            &self.schedule,
+            &self.controller,
+        )
+        .emit()
     }
 
     /// Simulates the generated design (RTL semantics) on one input set.
@@ -196,7 +204,10 @@ pub fn synthesize(
     let mut stages = Vec::new();
     let snapshot = |name: &str, program: &Program, stages: &mut Vec<StageSnapshot>| {
         if let Some(f) = program.function(top) {
-            stages.push(StageSnapshot { stage: name.to_string(), stats: FunctionStats::of(f) });
+            stages.push(StageSnapshot {
+                stage: name.to_string(),
+                stats: FunctionStats::of(f),
+            });
         }
     };
     snapshot("input", &working, &mut stages);
@@ -277,7 +288,10 @@ pub fn synthesize(
     let lifetimes = LifetimeAnalysis::compute(&function, &sched);
     let binding = Binding::compute(&function, &sched, &lifetimes, &library);
     let report = DatapathReport::build(&function, &sched, &binding, &controller, &library);
-    stages.push(StageSnapshot { stage: "scheduled".to_string(), stats: FunctionStats::of(&function) });
+    stages.push(StageSnapshot {
+        stage: "scheduled".to_string(),
+        stats: FunctionStats::of(&function),
+    });
 
     Ok(SynthesisResult {
         function,
@@ -296,20 +310,31 @@ pub fn synthesize(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use spark_ild::{
-        buffer_env, build_ild_program, decode_marks, random_buffer, ILD_FUNCTION,
-    };
+    use spark_ild::{buffer_env, build_ild_program, decode_marks, random_buffer, ILD_FUNCTION};
 
     #[test]
     fn ild_synthesizes_to_a_single_cycle() {
         let n = 8u32;
         let program = build_ild_program(n);
-        let result = synthesize(&program, ILD_FUNCTION, &FlowOptions::microprocessor_block(200.0))
-            .expect("synthesis succeeds");
-        assert!(result.is_single_cycle(), "the coordinated flow reaches the Figure 15 architecture");
+        let result = synthesize(
+            &program,
+            ILD_FUNCTION,
+            &FlowOptions::microprocessor_block(200.0),
+        )
+        .expect("synthesis succeeds");
+        assert!(
+            result.is_single_cycle(),
+            "the coordinated flow reaches the Figure 15 architecture"
+        );
         assert!(result.report.critical_path_ns <= 200.0);
-        assert!(result.pass_log.iter().any(|r| r.pass == "speculation" && r.changes > 0));
-        assert!(result.pass_log.iter().any(|r| r.pass == "loop-unroll-all" && r.changes > 0));
+        assert!(result
+            .pass_log
+            .iter()
+            .any(|r| r.pass == "speculation" && r.changes > 0));
+        assert!(result
+            .pass_log
+            .iter()
+            .any(|r| r.pass == "loop-unroll-all" && r.changes > 0));
         assert!(result.stages.len() >= 5);
     }
 
@@ -317,7 +342,12 @@ mod tests {
     fn synthesized_ild_matches_golden_model() {
         let n = 8u32;
         let program = build_ild_program(n);
-        let result = synthesize(&program, ILD_FUNCTION, &FlowOptions::microprocessor_block(200.0)).unwrap();
+        let result = synthesize(
+            &program,
+            ILD_FUNCTION,
+            &FlowOptions::microprocessor_block(200.0),
+        )
+        .unwrap();
         for seed in 0..6u64 {
             let buffer = random_buffer(n as usize, seed);
             let rtl = result.simulate(&buffer_env(&buffer)).unwrap();
@@ -333,8 +363,14 @@ mod tests {
     fn baseline_takes_more_cycles_than_spark() {
         let n = 8u32;
         let program = build_ild_program(n);
-        let spark = synthesize(&program, ILD_FUNCTION, &FlowOptions::microprocessor_block(200.0)).unwrap();
-        let baseline = synthesize(&program, ILD_FUNCTION, &FlowOptions::asic_baseline(20.0)).unwrap();
+        let spark = synthesize(
+            &program,
+            ILD_FUNCTION,
+            &FlowOptions::microprocessor_block(200.0),
+        )
+        .unwrap();
+        let baseline =
+            synthesize(&program, ILD_FUNCTION, &FlowOptions::asic_baseline(20.0)).unwrap();
         assert!(spark.report.states < baseline.report.states);
         assert!(baseline.report.states > 1);
     }
@@ -342,14 +378,24 @@ mod tests {
     #[test]
     fn unknown_top_function_is_reported() {
         let program = build_ild_program(4);
-        let err = synthesize(&program, "missing", &FlowOptions::microprocessor_block(100.0)).unwrap_err();
+        let err = synthesize(
+            &program,
+            "missing",
+            &FlowOptions::microprocessor_block(100.0),
+        )
+        .unwrap_err();
         assert!(matches!(err, SynthesisError::UnknownFunction(_)));
     }
 
     #[test]
     fn vhdl_is_generated_for_the_ild() {
         let program = build_ild_program(4);
-        let result = synthesize(&program, ILD_FUNCTION, &FlowOptions::microprocessor_block(200.0)).unwrap();
+        let result = synthesize(
+            &program,
+            ILD_FUNCTION,
+            &FlowOptions::microprocessor_block(200.0),
+        )
+        .unwrap();
         let vhdl = result.vhdl();
         assert!(vhdl.contains("entity ild is"));
         assert!(vhdl.contains("Mark_1 : out std_logic"));

@@ -46,20 +46,32 @@ fn build_calculate_length(buffer_len: u32) -> spark_ir::Function {
 
     b.if_begin(Value::Var(need2));
     {
-        let i1 = b.compute(OpKind::Add, Type::Bits(16), vec![Value::Var(i), Value::word(1)]);
+        let i1 = b.compute(
+            OpKind::Add,
+            Type::Bits(16),
+            vec![Value::Var(i), Value::word(1)],
+        );
         b.array_read(b2, buffer, Value::Var(i1));
         b.assign(OpKind::And, lc2, vec![Value::Var(b2), Value::word(3)]);
         b.assign(OpKind::Slice { hi: 7, lo: 7 }, need3, vec![Value::Var(b2)]);
         b.if_begin(Value::Var(need3));
         {
-            let i2 = b.compute(OpKind::Add, Type::Bits(16), vec![Value::Var(i), Value::word(2)]);
+            let i2 = b.compute(
+                OpKind::Add,
+                Type::Bits(16),
+                vec![Value::Var(i), Value::word(2)],
+            );
             b.array_read(b3, buffer, Value::Var(i2));
             let m3 = b.compute(OpKind::And, byte, vec![Value::Var(b3), Value::word(1)]);
             b.assign(OpKind::Add, lc3, vec![Value::Var(m3), Value::word(1)]);
             b.assign(OpKind::Slice { hi: 7, lo: 7 }, need4, vec![Value::Var(b3)]);
             b.if_begin(Value::Var(need4));
             {
-                let i3 = b.compute(OpKind::Add, Type::Bits(16), vec![Value::Var(i), Value::word(3)]);
+                let i3 = b.compute(
+                    OpKind::Add,
+                    Type::Bits(16),
+                    vec![Value::Var(i), Value::word(3)],
+                );
                 b.array_read(b4, buffer, Value::Var(i3));
                 let m4 = b.compute(OpKind::And, byte, vec![Value::Var(b4), Value::word(1)]);
                 b.assign(OpKind::Add, lc4, vec![Value::Var(m4), Value::word(1)]);
@@ -106,12 +118,24 @@ pub fn build_ild_program(n: u32) -> Program {
     b.copy(next_start, Value::word(1));
     b.for_begin(i, 1, Value::word(u64::from(n)), 1);
     {
-        b.assign(OpKind::Eq, is_start, vec![Value::Var(i), Value::Var(next_start)]);
+        b.assign(
+            OpKind::Eq,
+            is_start,
+            vec![Value::Var(i), Value::Var(next_start)],
+        );
         b.if_begin(Value::Var(is_start));
         {
             b.array_write(mark, Value::Var(i), Value::bool(true));
-            b.call(Some(len), CALCULATE_LENGTH_FUNCTION, vec![Value::Var(buffer), Value::Var(i)]);
-            b.assign(OpKind::Add, next_start, vec![Value::Var(next_start), Value::Var(len)]);
+            b.call(
+                Some(len),
+                CALCULATE_LENGTH_FUNCTION,
+                vec![Value::Var(buffer), Value::Var(i)],
+            );
+            b.assign(
+                OpKind::Add,
+                next_start,
+                vec![Value::Var(next_start), Value::Var(len)],
+            );
         }
         b.if_end();
     }
@@ -139,8 +163,16 @@ pub fn build_ild_natural_program(n: u32) -> Program {
     b.while_begin(Value::bool(true), Some(u64::from(n)));
     {
         b.array_write(mark, Value::Var(next_start), Value::bool(true));
-        b.call(Some(len), CALCULATE_LENGTH_FUNCTION, vec![Value::Var(buffer), Value::Var(next_start)]);
-        b.assign(OpKind::Add, next_start, vec![Value::Var(next_start), Value::Var(len)]);
+        b.call(
+            Some(len),
+            CALCULATE_LENGTH_FUNCTION,
+            vec![Value::Var(buffer), Value::Var(next_start)],
+        );
+        b.assign(
+            OpKind::Add,
+            next_start,
+            vec![Value::Var(next_start), Value::Var(len)],
+        );
     }
     b.loop_end();
 
@@ -159,7 +191,9 @@ pub fn buffer_env(buffer: &[u8]) -> Env {
 /// Extracts the mark bits `1..=n` from an execution outcome.
 pub fn marks_from_outcome(outcome: &Outcome, n: usize) -> Vec<bool> {
     let marks = outcome.array("Mark").unwrap_or(&[]);
-    (1..=n).map(|i| marks.get(i).copied().unwrap_or(0) != 0).collect()
+    (1..=n)
+        .map(|i| marks.get(i).copied().unwrap_or(0) != 0)
+        .collect()
 }
 
 #[cfg(test)]
@@ -201,7 +235,10 @@ mod tests {
     fn interpreted_ild_matches_golden_on_extreme_workloads() {
         let n = 12u32;
         let program = build_ild_program(n);
-        for buffer in [short_instruction_buffer(n as usize), long_instruction_buffer(n as usize)] {
+        for buffer in [
+            short_instruction_buffer(n as usize),
+            long_instruction_buffer(n as usize),
+        ] {
             let env = buffer_env(&buffer);
             let outcome = Interpreter::new(&program).run(ILD_FUNCTION, &env).unwrap();
             assert_eq!(
@@ -218,7 +255,9 @@ mod tests {
         for seed in [3u64, 17] {
             let buffer = random_buffer(n as usize, seed);
             let env = buffer_env(&buffer);
-            let outcome = Interpreter::new(&program).run(ILD_NATURAL_FUNCTION, &env).unwrap();
+            let outcome = Interpreter::new(&program)
+                .run(ILD_NATURAL_FUNCTION, &env)
+                .unwrap();
             let marks = marks_from_outcome(&outcome, n as usize);
             assert_eq!(marks, golden_window(&buffer, n as usize), "seed {seed}");
         }

@@ -107,6 +107,9 @@ mod tests {
 
     #[test]
     fn maximum_length_is_reachable() {
-        assert_eq!(calculate_length(0x83, 0x83, 0x81, 0x01), MAX_INSTRUCTION_LENGTH);
+        assert_eq!(
+            calculate_length(0x83, 0x83, 0x81, 0x01),
+            MAX_INSTRUCTION_LENGTH
+        );
     }
 }

@@ -65,9 +65,7 @@ mod tests {
         // 0x03 => length 4 with no continuation.
         let n = 8;
         let mut buffer = vec![0u8; n + 4];
-        for i in 1..=n {
-            buffer[i] = 0x03;
-        }
+        buffer[1..=n].fill(0x03);
         let marks = decode_marks(&buffer, n);
         assert_eq!(
             marks[1..=n],

@@ -33,8 +33,8 @@
 
 #![warn(missing_docs)]
 
-pub mod encoding;
 mod behavior;
+pub mod encoding;
 mod golden;
 mod workload;
 

@@ -52,7 +52,7 @@ pub fn mixed_instruction_buffer(n: usize, seed: u64) -> Vec<u8> {
             }
             _ => {
                 buffer[i] = 0x83; // lc1 = 4, need2
-                if i + 1 <= n {
+                if i < n {
                     buffer[i + 1] = 0x03; // lc2 = 3
                 }
                 i += 7;

@@ -125,7 +125,12 @@ impl std::fmt::Display for FunctionStats {
         write!(
             f,
             "{} ops, {} blocks, {} ifs, {} loops, depth {}, {} vars",
-            self.operations, self.blocks, self.conditionals, self.loops, self.nesting_depth, self.variables
+            self.operations,
+            self.blocks,
+            self.conditionals,
+            self.loops,
+            self.nesting_depth,
+            self.variables
         )
     }
 }

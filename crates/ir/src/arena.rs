@@ -23,7 +23,10 @@ impl<T> Id<T> {
     /// Creates an id from a raw index. Intended for use by [`Arena`] and tests.
     #[inline]
     pub fn from_raw(index: u32) -> Self {
-        Id { index, _marker: PhantomData }
+        Id {
+            index,
+            _marker: PhantomData,
+        }
     }
 
     /// Returns the raw index backing this id.

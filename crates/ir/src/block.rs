@@ -25,7 +25,10 @@ pub struct BasicBlock {
 impl BasicBlock {
     /// Creates an empty block with the given label.
     pub fn new(label: impl Into<String>) -> Self {
-        BasicBlock { label: label.into(), ops: Vec::new() }
+        BasicBlock {
+            label: label.into(),
+            ops: Vec::new(),
+        }
     }
 
     /// Appends an operation to the end of the block.

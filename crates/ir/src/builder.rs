@@ -5,13 +5,13 @@
 //! per-operation helpers. It is used both by the C-like frontend and by the
 //! ILD generator, and is handy for writing tests.
 
+use crate::block::BlockId;
 use crate::function::Function;
 use crate::htg::{LoopKind, RegionId};
 use crate::op::{OpId, OpKind};
 use crate::types::Type;
 use crate::value::{Constant, Value};
 use crate::var::{Var, VarId};
-use crate::block::BlockId;
 
 #[derive(Debug)]
 enum Frame {
@@ -114,7 +114,8 @@ impl FunctionBuilder {
 
     /// Declares a primary-output array (e.g. the ILD `Mark[]` vector).
     pub fn output_array(&mut self, name: &str, ty: Type, length: u32) -> VarId {
-        self.function.add_var(Var::array(name, ty, length).as_output())
+        self.function
+            .add_var(Var::array(name, ty, length).as_output())
     }
 
     /// Declares a primary-output scalar.
@@ -139,7 +140,10 @@ impl FunctionBuilder {
         self.block_counter += 1;
         let block = self.function.add_block(label);
         let node = self.function.add_block_node(block);
-        let region = *self.region_stack.last().expect("builder has a current region");
+        let region = *self
+            .region_stack
+            .last()
+            .expect("builder has a current region");
         self.function.region_push(region, node);
         self.current_block = Some(block);
         block
@@ -167,8 +171,12 @@ impl FunctionBuilder {
     /// Emits `array[index] = value`.
     pub fn array_write(&mut self, array: VarId, index: Value, value: Value) -> OpId {
         let block = self.ensure_block();
-        self.function
-            .push_op(block, OpKind::ArrayWrite { array }, None, vec![index, value])
+        self.function.push_op(
+            block,
+            OpKind::ArrayWrite { array },
+            None,
+            vec![index, value],
+        )
     }
 
     /// Emits `dest = array[index]`.
@@ -179,14 +187,21 @@ impl FunctionBuilder {
     /// Emits `dest = callee(args...)`.
     pub fn call(&mut self, dest: Option<VarId>, callee: &str, args: Vec<Value>) -> OpId {
         let block = self.ensure_block();
-        self.function
-            .push_op(block, OpKind::Call { callee: callee.to_string() }, dest, args)
+        self.function.push_op(
+            block,
+            OpKind::Call {
+                callee: callee.to_string(),
+            },
+            dest,
+            args,
+        )
     }
 
     /// Emits `return value`.
     pub fn ret(&mut self, value: Value) -> OpId {
         let block = self.ensure_block();
-        self.function.push_op(block, OpKind::Return, None, vec![value])
+        self.function
+            .push_op(block, OpKind::Return, None, vec![value])
     }
 
     // ------------------------------------------------------------------
@@ -200,7 +215,12 @@ impl FunctionBuilder {
         self.current_block = None;
         let then_region = self.function.add_region();
         let else_region = self.function.add_region();
-        self.frames.push(Frame::If { cond, then_region, else_region, in_else: false });
+        self.frames.push(Frame::If {
+            cond,
+            then_region,
+            else_region,
+            in_else: false,
+        });
         self.region_stack.push(then_region);
     }
 
@@ -212,7 +232,11 @@ impl FunctionBuilder {
         self.current_block = None;
         let frame = self.frames.last_mut().expect("else_begin outside of if");
         match frame {
-            Frame::If { else_region, in_else, .. } => {
+            Frame::If {
+                else_region,
+                in_else,
+                ..
+            } => {
                 assert!(!*in_else, "else_begin called twice for the same if");
                 *in_else = true;
                 let else_region = *else_region;
@@ -231,7 +255,12 @@ impl FunctionBuilder {
         self.current_block = None;
         let frame = self.frames.pop().expect("if_end without an open if");
         match frame {
-            Frame::If { cond, then_region, else_region, .. } => {
+            Frame::If {
+                cond,
+                then_region,
+                else_region,
+                ..
+            } => {
                 self.region_stack.pop();
                 let node = self.function.add_if_node(cond, then_region, else_region);
                 let region = *self.region_stack.last().expect("parent region");
@@ -246,7 +275,14 @@ impl FunctionBuilder {
         self.current_block = None;
         let body = self.function.add_region();
         let start = Constant::new(start, self.function.vars[index].ty);
-        self.frames.push(Frame::For { index, start, end, step, body, trip_bound: None });
+        self.frames.push(Frame::For {
+            index,
+            start,
+            end,
+            step,
+            body,
+            trip_bound: None,
+        });
         self.region_stack.push(body);
     }
 
@@ -255,7 +291,11 @@ impl FunctionBuilder {
     pub fn while_begin(&mut self, cond: Value, trip_bound: Option<u64>) {
         self.current_block = None;
         let body = self.function.add_region();
-        self.frames.push(Frame::While { cond, body, trip_bound });
+        self.frames.push(Frame::While {
+            cond,
+            body,
+            trip_bound,
+        });
         self.region_stack.push(body);
     }
 
@@ -268,14 +308,30 @@ impl FunctionBuilder {
         let frame = self.frames.pop().expect("loop_end without an open loop");
         self.region_stack.pop();
         let node = match frame {
-            Frame::For { index, start, end, step, body, trip_bound } => self.function.add_loop_node(
-                LoopKind::For { index, start, end, step },
+            Frame::For {
+                index,
+                start,
+                end,
+                step,
+                body,
+                trip_bound,
+            } => self.function.add_loop_node(
+                LoopKind::For {
+                    index,
+                    start,
+                    end,
+                    step,
+                },
                 body,
                 trip_bound,
             ),
-            Frame::While { cond, body, trip_bound } => {
-                self.function.add_loop_node(LoopKind::While { cond }, body, trip_bound)
-            }
+            Frame::While {
+                cond,
+                body,
+                trip_bound,
+            } => self
+                .function
+                .add_loop_node(LoopKind::While { cond }, body, trip_bound),
             Frame::If { .. } => panic!("loop_end does not match an open loop"),
         };
         let region = *self.region_stack.last().expect("parent region");

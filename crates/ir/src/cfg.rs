@@ -66,7 +66,11 @@ impl Cfg {
         if let CfgNodeKind::Block(b) = kind {
             self.block_index.insert(b, idx);
         }
-        self.nodes.push(CfgNode { kind, preds: Vec::new(), succs: Vec::new() });
+        self.nodes.push(CfgNode {
+            kind,
+            preds: Vec::new(),
+            succs: Vec::new(),
+        });
         idx
     }
 
@@ -89,7 +93,12 @@ impl Cfg {
     /// set of node indices that fall through out of the region (its exits)
     /// as `(entry_index, exits)`; for empty regions the entry is `pred` and
     /// the exits are `[pred]`.
-    fn lower_region(&mut self, function: &Function, region: RegionId, pred: usize) -> (usize, Vec<usize>) {
+    fn lower_region(
+        &mut self,
+        function: &Function,
+        region: RegionId,
+        pred: usize,
+    ) -> (usize, Vec<usize>) {
         let mut frontier = vec![pred];
         let mut first = pred;
         let mut first_set = false;
@@ -115,7 +124,11 @@ impl Cfg {
                     let (else_entry, else_exits) = self.lower_region(function, i.else_region, fork);
                     self.connect(then_exits, join);
                     self.connect(else_exits, join);
-                    let entry = if then_entry != fork { then_entry } else { else_entry };
+                    let entry = if then_entry != fork {
+                        then_entry
+                    } else {
+                        else_entry
+                    };
                     (entry, vec![join])
                 }
                 HtgNode::Loop(l) => {
@@ -276,7 +289,11 @@ mod tests {
         let blocks = f.blocks_in_region(f.body);
         let reader = *blocks.last().unwrap();
         let trails = cfg.backward_trails(reader, 64);
-        assert_eq!(trails.len(), 3, "paper Figure 5 describes exactly three trails");
+        assert_eq!(
+            trails.len(),
+            3,
+            "paper Figure 5 describes exactly three trails"
+        );
         for trail in &trails {
             assert_eq!(trail[0], reader, "trails start at the block itself");
         }

@@ -42,7 +42,10 @@ impl Function {
             OpKind::Concat => format!("{{{}, {}}}", args[0], args[1]),
             OpKind::ArrayRead { array } => format!("{}[{}]", self.vars[*array].name, args[0]),
             OpKind::ArrayWrite { array } => {
-                return format!("{}[{}] = {}{spec};", self.vars[*array].name, args[0], args[1]);
+                return format!(
+                    "{}[{}] = {}{spec};",
+                    self.vars[*array].name, args[0], args[1]
+                );
             }
             OpKind::Call { callee } => format!("{callee}({})", args.join(", ")),
             OpKind::Return => return format!("return {}{spec};", args[0]),
@@ -53,7 +56,12 @@ impl Function {
         }
     }
 
-    fn fmt_region(&self, f: &mut fmt::Formatter<'_>, region: RegionId, indent: usize) -> fmt::Result {
+    fn fmt_region(
+        &self,
+        f: &mut fmt::Formatter<'_>,
+        region: RegionId,
+        indent: usize,
+    ) -> fmt::Result {
         let pad = "  ".repeat(indent);
         for &node in &self.regions[region].nodes {
             match &self.nodes[node] {
@@ -78,7 +86,12 @@ impl Function {
                 }
                 HtgNode::Loop(l) => {
                     match &l.kind {
-                        LoopKind::For { index, start, end, step } => {
+                        LoopKind::For {
+                            index,
+                            start,
+                            end,
+                            step,
+                        } => {
                             writeln!(
                                 f,
                                 "{pad}for ({name} = {start}; {name} <= {end}; {name} += {step}) {{",

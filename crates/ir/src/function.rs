@@ -128,13 +128,31 @@ impl Function {
     }
 
     /// Creates an `if` HTG node.
-    pub fn add_if_node(&mut self, cond: Value, then_region: RegionId, else_region: RegionId) -> NodeId {
-        self.nodes.alloc(HtgNode::If(IfNode { cond, then_region, else_region }))
+    pub fn add_if_node(
+        &mut self,
+        cond: Value,
+        then_region: RegionId,
+        else_region: RegionId,
+    ) -> NodeId {
+        self.nodes.alloc(HtgNode::If(IfNode {
+            cond,
+            then_region,
+            else_region,
+        }))
     }
 
     /// Creates a loop HTG node.
-    pub fn add_loop_node(&mut self, kind: LoopKind, body: RegionId, trip_bound: Option<u64>) -> NodeId {
-        self.nodes.alloc(HtgNode::Loop(LoopNode { kind, body, trip_bound }))
+    pub fn add_loop_node(
+        &mut self,
+        kind: LoopKind,
+        body: RegionId,
+        trip_bound: Option<u64>,
+    ) -> NodeId {
+        self.nodes.alloc(HtgNode::Loop(LoopNode {
+            kind,
+            body,
+            trip_bound,
+        }))
     }
 
     /// Appends a node to a region.
@@ -204,7 +222,9 @@ impl Function {
             .map(|&node| match &self.nodes[node] {
                 HtgNode::Block(_) => 0,
                 HtgNode::If(i) => {
-                    1 + self.region_depth(i.then_region).max(self.region_depth(i.else_region))
+                    1 + self
+                        .region_depth(i.then_region)
+                        .max(self.region_depth(i.else_region))
                 }
                 HtgNode::Loop(l) => 1 + self.region_depth(l.body),
             })
@@ -264,7 +284,10 @@ impl Function {
 
     /// Finds a variable by name (first match).
     pub fn var_by_name(&self, name: &str) -> Option<VarId> {
-        self.vars.iter().find(|(_, v)| v.name == name).map(|(id, _)| id)
+        self.vars
+            .iter()
+            .find(|(_, v)| v.name == name)
+            .map(|(id, _)| id)
     }
 
     /// Primary output variables of the function.
@@ -372,13 +395,20 @@ impl Function {
                 }
                 HtgNode::Loop(l) => {
                     let kind = match l.kind {
-                        LoopKind::For { index, start, end, step } => LoopKind::For {
+                        LoopKind::For {
+                            index,
+                            start,
+                            end,
+                            step,
+                        } => LoopKind::For {
                             index: map_var(index, var_map),
                             start,
                             end: map_val(end, var_map),
                             step,
                         },
-                        LoopKind::While { cond } => LoopKind::While { cond: map_val(cond, var_map) },
+                        LoopKind::While { cond } => LoopKind::While {
+                            cond: map_val(cond, var_map),
+                        },
                     };
                     let body = self.clone_region_mapped(l.body, var_map);
                     self.add_loop_node(kind, body, l.trip_bound)
@@ -402,10 +432,9 @@ impl Function {
                 let mut kept = Vec::with_capacity(nodes.len());
                 for node in nodes {
                     let keep = match &self.nodes[node] {
-                        HtgNode::Block(b) => self.blocks[*b]
-                            .ops
-                            .iter()
-                            .any(|&op| !self.ops[op].dead),
+                        HtgNode::Block(b) => {
+                            self.blocks[*b].ops.iter().any(|&op| !self.ops[op].dead)
+                        }
                         HtgNode::If(i) => {
                             !(self.regions[i.then_region].is_empty()
                                 && self.regions[i.else_region].is_empty())
@@ -442,13 +471,23 @@ mod tests {
         let x = f.add_var(Var::register("x", Type::Bits(8)));
 
         let then_bb = f.add_block("then");
-        f.push_op(then_bb, OpKind::Add, Some(x), vec![Value::Var(a), Value::word(1)]);
+        f.push_op(
+            then_bb,
+            OpKind::Add,
+            Some(x),
+            vec![Value::Var(a), Value::word(1)],
+        );
         let then_region = f.add_region();
         let then_node = f.add_block_node(then_bb);
         f.region_push(then_region, then_node);
 
         let else_bb = f.add_block("else");
-        f.push_op(else_bb, OpKind::Sub, Some(x), vec![Value::Var(a), Value::word(1)]);
+        f.push_op(
+            else_bb,
+            OpKind::Sub,
+            Some(x),
+            vec![Value::Var(a), Value::word(1)],
+        );
         let else_region = f.add_region();
         let else_node = f.add_block_node(else_bb);
         f.region_push(else_region, else_node);

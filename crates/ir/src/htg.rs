@@ -152,7 +152,9 @@ mod tests {
         assert!(if_node.as_block().is_none());
 
         let loop_node = HtgNode::Loop(LoopNode {
-            kind: LoopKind::While { cond: Value::bool(true) },
+            kind: LoopKind::While {
+                cond: Value::bool(true),
+            },
             body: RegionId::from_raw(2),
             trip_bound: Some(8),
         });

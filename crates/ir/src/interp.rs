@@ -47,8 +47,15 @@ impl fmt::Display for EvalError {
         match self {
             EvalError::MissingInput(name) => write!(f, "missing input `{name}`"),
             EvalError::UnknownFunction(name) => write!(f, "unknown function `{name}`"),
-            EvalError::OutOfBounds { array, index, length } => {
-                write!(f, "index {index} out of bounds for array `{array}` of length {length}")
+            EvalError::OutOfBounds {
+                array,
+                index,
+                length,
+            } => {
+                write!(
+                    f,
+                    "index {index} out of bounds for array `{array}` of length {length}"
+                )
             }
             EvalError::LoopLimit(limit) => write!(f, "loop exceeded {limit} iterations"),
             EvalError::CallDepth(limit) => write!(f, "call depth exceeded {limit}"),
@@ -151,7 +158,11 @@ pub struct Interpreter<'p> {
 impl<'p> Interpreter<'p> {
     /// Creates an interpreter over `program` with default limits.
     pub fn new(program: &'p Program) -> Self {
-        Interpreter { program, max_loop_iterations: 1 << 20, max_call_depth: 64 }
+        Interpreter {
+            program,
+            max_loop_iterations: 1 << 20,
+            max_call_depth: 64,
+        }
     }
 
     /// Runs the named function with the given input bindings.
@@ -171,7 +182,10 @@ impl<'p> Interpreter<'p> {
             Flow::Return(v) => Some(v),
             Flow::Continue => None,
         };
-        let mut outcome = Outcome { return_value, ..Outcome::default() };
+        let mut outcome = Outcome {
+            return_value,
+            ..Outcome::default()
+        };
         for (var_id, var) in func.vars.iter() {
             match var.storage {
                 StorageClass::Array { .. } => {
@@ -190,7 +204,10 @@ impl<'p> Interpreter<'p> {
     }
 
     fn init_frame(&self, func: &Function, env: &Env) -> Result<Frame, EvalError> {
-        let mut frame = Frame { scalars: BTreeMap::new(), arrays: BTreeMap::new() };
+        let mut frame = Frame {
+            scalars: BTreeMap::new(),
+            arrays: BTreeMap::new(),
+        };
         for (var_id, var) in func.vars.iter() {
             match var.storage {
                 StorageClass::Array { length } => {
@@ -269,7 +286,12 @@ impl<'p> Interpreter<'p> {
                 HtgNode::Loop(l) => {
                     let mut iterations = 0u64;
                     match &l.kind {
-                        LoopKind::For { index, start, end, step } => {
+                        LoopKind::For {
+                            index,
+                            start,
+                            end,
+                            step,
+                        } => {
                             frame.scalars.insert(*index, start.value());
                             loop {
                                 let idx = frame.scalars[index];
@@ -334,13 +356,16 @@ impl<'p> Interpreter<'p> {
 
         let result: u64 = match &op.kind {
             OpKind::Add => {
-                self.eval(func, frame, arg(0)?).wrapping_add(self.eval(func, frame, arg(1)?))
+                self.eval(func, frame, arg(0)?)
+                    .wrapping_add(self.eval(func, frame, arg(1)?))
             }
             OpKind::Sub => {
-                self.eval(func, frame, arg(0)?).wrapping_sub(self.eval(func, frame, arg(1)?))
+                self.eval(func, frame, arg(0)?)
+                    .wrapping_sub(self.eval(func, frame, arg(1)?))
             }
             OpKind::Mul => {
-                self.eval(func, frame, arg(0)?).wrapping_mul(self.eval(func, frame, arg(1)?))
+                self.eval(func, frame, arg(0)?)
+                    .wrapping_mul(self.eval(func, frame, arg(1)?))
             }
             OpKind::And => self.eval(func, frame, arg(0)?) & self.eval(func, frame, arg(1)?),
             OpKind::Or => self.eval(func, frame, arg(0)?) | self.eval(func, frame, arg(1)?),
@@ -354,12 +379,24 @@ impl<'p> Interpreter<'p> {
                 let amount = self.eval(func, frame, arg(1)?).min(63);
                 self.eval(func, frame, arg(0)?) >> amount
             }
-            OpKind::Eq => (self.eval(func, frame, arg(0)?) == self.eval(func, frame, arg(1)?)) as u64,
-            OpKind::Ne => (self.eval(func, frame, arg(0)?) != self.eval(func, frame, arg(1)?)) as u64,
-            OpKind::Lt => (self.eval(func, frame, arg(0)?) < self.eval(func, frame, arg(1)?)) as u64,
-            OpKind::Le => (self.eval(func, frame, arg(0)?) <= self.eval(func, frame, arg(1)?)) as u64,
-            OpKind::Gt => (self.eval(func, frame, arg(0)?) > self.eval(func, frame, arg(1)?)) as u64,
-            OpKind::Ge => (self.eval(func, frame, arg(0)?) >= self.eval(func, frame, arg(1)?)) as u64,
+            OpKind::Eq => {
+                (self.eval(func, frame, arg(0)?) == self.eval(func, frame, arg(1)?)) as u64
+            }
+            OpKind::Ne => {
+                (self.eval(func, frame, arg(0)?) != self.eval(func, frame, arg(1)?)) as u64
+            }
+            OpKind::Lt => {
+                (self.eval(func, frame, arg(0)?) < self.eval(func, frame, arg(1)?)) as u64
+            }
+            OpKind::Le => {
+                (self.eval(func, frame, arg(0)?) <= self.eval(func, frame, arg(1)?)) as u64
+            }
+            OpKind::Gt => {
+                (self.eval(func, frame, arg(0)?) > self.eval(func, frame, arg(1)?)) as u64
+            }
+            OpKind::Ge => {
+                (self.eval(func, frame, arg(0)?) >= self.eval(func, frame, arg(1)?)) as u64
+            }
             OpKind::Copy => self.eval(func, frame, arg(0)?),
             OpKind::Select => {
                 if self.eval(func, frame, arg(0)?) != 0 {
@@ -397,7 +434,11 @@ impl<'p> Interpreter<'p> {
                 let contents = frame.arrays.entry(*array).or_default();
                 let slot = contents
                     .get_mut(index as usize)
-                    .ok_or(EvalError::OutOfBounds { array: name, index, length })?;
+                    .ok_or(EvalError::OutOfBounds {
+                        array: name,
+                        index,
+                        length,
+                    })?;
                 *slot = value;
                 return Ok(Flow::Continue);
             }
@@ -421,7 +462,8 @@ impl<'p> Interpreter<'p> {
                                     param_var.name
                                 ))
                             })?;
-                            let contents = frame.arrays.get(&array_var).cloned().unwrap_or_default();
+                            let contents =
+                                frame.arrays.get(&array_var).cloned().unwrap_or_default();
                             env.set_array(&param_var.name, contents);
                         }
                         _ => env.set_scalar(&param_var.name, self.eval(func, frame, value)),
@@ -468,7 +510,9 @@ mod tests {
         b.assign(OpKind::Add, x, vec![Value::Var(a), Value::word(5)]);
         b.ret(Value::Var(x));
         let p = program_with(b.finish());
-        let out = Interpreter::new(&p).run("f", &Env::new().with_scalar("a", 10)).unwrap();
+        let out = Interpreter::new(&p)
+            .run("f", &Env::new().with_scalar("a", 10))
+            .unwrap();
         assert_eq!(out.return_value, Some(15));
         assert_eq!(out.scalar("x"), Some(15));
     }
@@ -480,7 +524,9 @@ mod tests {
         let x = b.var("x", Type::Bits(8));
         b.assign(OpKind::Add, x, vec![Value::Var(a), Value::word(1)]);
         let p = program_with(b.finish());
-        let out = Interpreter::new(&p).run("f", &Env::new().with_scalar("a", 255)).unwrap();
+        let out = Interpreter::new(&p)
+            .run("f", &Env::new().with_scalar("a", 255))
+            .unwrap();
         assert_eq!(out.scalar("x"), Some(0));
     }
 
@@ -497,8 +543,20 @@ mod tests {
         b.ret(Value::Var(x));
         let p = program_with(b.finish());
         let interp = Interpreter::new(&p);
-        assert_eq!(interp.run("f", &Env::new().with_scalar("c", 1)).unwrap().return_value, Some(1));
-        assert_eq!(interp.run("f", &Env::new().with_scalar("c", 0)).unwrap().return_value, Some(2));
+        assert_eq!(
+            interp
+                .run("f", &Env::new().with_scalar("c", 1))
+                .unwrap()
+                .return_value,
+            Some(1)
+        );
+        assert_eq!(
+            interp
+                .run("f", &Env::new().with_scalar("c", 0))
+                .unwrap()
+                .return_value,
+            Some(2)
+        );
     }
 
     #[test]
@@ -554,7 +612,11 @@ mod tests {
         let ci = cb.param("i", Type::Bits(32));
         let cx = cb.var("x", Type::Bits(8));
         cb.array_read(cx, cbuf, Value::Var(ci));
-        let cy = cb.compute(OpKind::Add, Type::Bits(8), vec![Value::Var(cx), Value::word(1)]);
+        let cy = cb.compute(
+            OpKind::Add,
+            Type::Bits(8),
+            vec![Value::Var(cx), Value::word(1)],
+        );
         cb.ret(Value::Var(cy));
         cb.returns(Type::Bits(8));
 
@@ -603,10 +665,16 @@ mod tests {
         let m = b.var("m", Type::Bits(8));
         let c = b.var("c", Type::Bits(8));
         b.assign(OpKind::Slice { hi: 7, lo: 4 }, s, vec![Value::Var(a)]);
-        b.assign(OpKind::Select, m, vec![Value::bool(true), Value::Var(s), Value::word(0)]);
+        b.assign(
+            OpKind::Select,
+            m,
+            vec![Value::bool(true), Value::Var(s), Value::word(0)],
+        );
         b.assign(OpKind::Concat, c, vec![Value::Var(s), Value::Var(s)]);
         let p = program_with(b.finish());
-        let out = Interpreter::new(&p).run("f", &Env::new().with_scalar("a", 0xAB)).unwrap();
+        let out = Interpreter::new(&p)
+            .run("f", &Env::new().with_scalar("a", 0xAB))
+            .unwrap();
         assert_eq!(out.scalar("s"), Some(0xA));
         assert_eq!(out.scalar("m"), Some(0xA));
         assert_eq!(out.scalar("c"), Some(0xAA));

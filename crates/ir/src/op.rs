@@ -99,7 +99,13 @@ impl OpKind {
     pub fn is_commutative(&self) -> bool {
         matches!(
             self,
-            OpKind::Add | OpKind::Mul | OpKind::And | OpKind::Or | OpKind::Xor | OpKind::Eq | OpKind::Ne
+            OpKind::Add
+                | OpKind::Mul
+                | OpKind::And
+                | OpKind::Or
+                | OpKind::Xor
+                | OpKind::Eq
+                | OpKind::Ne
         )
     }
 
@@ -185,7 +191,13 @@ pub struct Operation {
 impl Operation {
     /// Creates a new live operation.
     pub fn new(kind: OpKind, dest: Option<VarId>, args: Vec<Value>) -> Self {
-        Operation { kind, dest, args, dead: false, speculative: false }
+        Operation {
+            kind,
+            dest,
+            args,
+            dead: false,
+            speculative: false,
+        }
     }
 
     /// Variables read by this operation (operands plus array sources).
@@ -238,11 +250,19 @@ mod tests {
 
     #[test]
     fn uses_and_defs() {
-        let op = Operation::new(OpKind::Add, Some(v(2)), vec![Value::Var(v(0)), Value::word(1)]);
+        let op = Operation::new(
+            OpKind::Add,
+            Some(v(2)),
+            vec![Value::Var(v(0)), Value::word(1)],
+        );
         assert_eq!(op.uses(), vec![v(0)]);
         assert_eq!(op.def(), Some(v(2)));
 
-        let read = Operation::new(OpKind::ArrayRead { array: v(5) }, Some(v(1)), vec![Value::word(3)]);
+        let read = Operation::new(
+            OpKind::ArrayRead { array: v(5) },
+            Some(v(1)),
+            vec![Value::word(3)],
+        );
         assert_eq!(read.uses(), vec![v(5)]);
         assert_eq!(read.def(), Some(v(1)));
 

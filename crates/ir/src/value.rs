@@ -28,7 +28,10 @@ impl Constant {
     /// assert_eq!(c.value(), 0xFF);
     /// ```
     pub fn new(value: u64, ty: Type) -> Self {
-        Constant { value: value & ty.mask(), ty }
+        Constant {
+            value: value & ty.mask(),
+            ty,
+        }
     }
 
     /// A boolean constant.

@@ -134,7 +134,9 @@ impl fmt::Display for Var {
         let kind = match self.storage {
             StorageClass::Register => "reg",
             StorageClass::Wire => "wire",
-            StorageClass::Array { length } => return write!(f, "{}: {}[{}]", self.name, self.ty, length),
+            StorageClass::Array { length } => {
+                return write!(f, "{}: {}[{}]", self.name, self.ty, length)
+            }
         };
         write!(f, "{}: {} {}", self.name, kind, self.ty)
     }

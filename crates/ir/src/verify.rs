@@ -38,7 +38,10 @@ impl std::error::Error for VerifyError {}
 pub fn verify(function: &Function) -> Result<(), Vec<VerifyError>> {
     let mut errors = Vec::new();
     let mut err = |message: String| {
-        errors.push(VerifyError { function: function.name.clone(), message });
+        errors.push(VerifyError {
+            function: function.name.clone(),
+            message,
+        });
     };
 
     // 1. Region tree: every node appears in at most one region, the body is a
@@ -77,7 +80,9 @@ pub fn verify(function: &Function) -> Result<(), Vec<VerifyError>> {
                 HtgNode::Loop(l) => {
                     stack.push(l.body);
                     match &l.kind {
-                        LoopKind::For { index, end, step, .. } => {
+                        LoopKind::For {
+                            index, end, step, ..
+                        } => {
                             if function.vars.try_get(*index).is_none() {
                                 err(format!("loop index {index:?} is dangling"));
                             }
@@ -109,7 +114,9 @@ pub fn verify(function: &Function) -> Result<(), Vec<VerifyError>> {
                 continue;
             }
             if !op_owner.insert(op_id) {
-                err(format!("operation {op_id:?} appears in more than one block"));
+                err(format!(
+                    "operation {op_id:?} appears in more than one block"
+                ));
             }
             if let Some(arity) = op.kind.arity() {
                 if op.args.len() != arity {
@@ -125,7 +132,9 @@ pub fn verify(function: &Function) -> Result<(), Vec<VerifyError>> {
             }
             if let Some(dest) = op.dest {
                 if function.vars.try_get(dest).is_none() {
-                    err(format!("operation {op_id:?} writes dangling variable {dest:?}"));
+                    err(format!(
+                        "operation {op_id:?} writes dangling variable {dest:?}"
+                    ));
                 } else if function.vars[dest].is_array() {
                     err(format!(
                         "operation {op_id:?} writes array `{}` as a scalar",
@@ -136,10 +145,13 @@ pub fn verify(function: &Function) -> Result<(), Vec<VerifyError>> {
             match &op.kind {
                 OpKind::ArrayRead { array } | OpKind::ArrayWrite { array } => {
                     match function.vars.try_get(*array) {
-                        None => err(format!("operation {op_id:?} references dangling array {array:?}")),
-                        Some(var) if !var.is_array() => {
-                            err(format!("operation {op_id:?} indexes non-array `{}`", var.name))
-                        }
+                        None => err(format!(
+                            "operation {op_id:?} references dangling array {array:?}"
+                        )),
+                        Some(var) if !var.is_array() => err(format!(
+                            "operation {op_id:?} indexes non-array `{}`",
+                            var.name
+                        )),
                         _ => {}
                     }
                 }
@@ -155,12 +167,7 @@ pub fn verify(function: &Function) -> Result<(), Vec<VerifyError>> {
     }
 }
 
-fn check_value(
-    function: &Function,
-    value: Value,
-    what: &str,
-    err: &mut impl FnMut(String),
-) {
+fn check_value(function: &Function, value: Value, what: &str, err: &mut impl FnMut(String)) {
     if let Value::Var(v) = value {
         if function.vars.try_get(v).is_none() {
             err(format!("{what} references dangling variable {v:?}"));
@@ -198,10 +205,16 @@ mod tests {
         f.region_push(body, node);
         // Reference a variable that was never declared.
         let ghost = VarId::from_raw(42);
-        let op = f.ops.alloc(Operation::new(OpKind::Copy, Some(ghost), vec![Value::word(1)]));
+        let op = f.ops.alloc(Operation::new(
+            OpKind::Copy,
+            Some(ghost),
+            vec![Value::word(1)],
+        ));
         f.blocks[bb].push(op);
         let errors = verify(&f).unwrap_err();
-        assert!(errors.iter().any(|e| e.message.contains("dangling variable")));
+        assert!(errors
+            .iter()
+            .any(|e| e.message.contains("dangling variable")));
     }
 
     #[test]
@@ -212,7 +225,9 @@ mod tests {
         let node = f.add_block_node(bb);
         let body = f.body;
         f.region_push(body, node);
-        let op = f.ops.alloc(Operation::new(OpKind::Add, Some(x), vec![Value::word(1)]));
+        let op = f
+            .ops
+            .alloc(Operation::new(OpKind::Add, Some(x), vec![Value::word(1)]));
         f.blocks[bb].push(op);
         let errors = verify(&f).unwrap_err();
         assert!(errors.iter().any(|e| e.message.contains("expected 2")));
@@ -229,11 +244,15 @@ mod tests {
         let body = f.body;
         f.region_push(body, n1);
         f.region_push(body, n2);
-        let op = f.ops.alloc(Operation::new(OpKind::Copy, Some(x), vec![Value::word(1)]));
+        let op = f
+            .ops
+            .alloc(Operation::new(OpKind::Copy, Some(x), vec![Value::word(1)]));
         f.blocks[bb1].push(op);
         f.blocks[bb2].push(op);
         let errors = verify(&f).unwrap_err();
-        assert!(errors.iter().any(|e| e.message.contains("more than one block")));
+        assert!(errors
+            .iter()
+            .any(|e| e.message.contains("more than one block")));
     }
 
     #[test]
@@ -244,7 +263,11 @@ mod tests {
         let node = f.add_block_node(bb);
         let body = f.body;
         f.region_push(body, node);
-        let op = f.ops.alloc(Operation::new(OpKind::Copy, Some(arr), vec![Value::word(1)]));
+        let op = f.ops.alloc(Operation::new(
+            OpKind::Copy,
+            Some(arr),
+            vec![Value::word(1)],
+        ));
         f.blocks[bb].push(op);
         let errors = verify(&f).unwrap_err();
         assert!(errors.iter().any(|e| e.message.contains("as a scalar")));

@@ -69,9 +69,7 @@ impl DatapathReport {
             }
         }
         for (_, var) in function.vars.iter() {
-            let bits = |length: Option<u32>| {
-                u32::from(var.ty.width()) * length.unwrap_or(1)
-            };
+            let bits = |length: Option<u32>| u32::from(var.ty.width()) * length.unwrap_or(1);
             match var.direction {
                 PortDirection::Input => {
                     report.input_bits += bits(var.array_length()) as usize;
@@ -124,7 +122,11 @@ impl std::fmt::Display for DatapathReport {
         writeln!(f, "  registers          : {}", self.registers)?;
         writeln!(f, "  output array bits  : {}", self.output_array_bits)?;
         writeln!(f, "  steering muxes     : {}", self.steering_muxes)?;
-        writeln!(f, "  ports              : {} in / {} out bits", self.input_bits, self.output_bits)?;
+        writeln!(
+            f,
+            "  ports              : {} in / {} out bits",
+            self.input_bits, self.output_bits
+        )?;
         writeln!(f, "  estimated area     : {:.0} gates", self.area_estimate)
     }
 }
@@ -139,7 +141,13 @@ mod tests {
     fn report_for(f: &Function, period: f64) -> DatapathReport {
         let graph = DependenceGraph::build(f).unwrap();
         let library = ResourceLibrary::new();
-        let sched = schedule(f, &graph, &library, &Constraints::microprocessor_block(period)).unwrap();
+        let sched = schedule(
+            f,
+            &graph,
+            &library,
+            &Constraints::microprocessor_block(period),
+        )
+        .unwrap();
         let lifetimes = LifetimeAnalysis::compute(f, &sched);
         let binding = Binding::compute(f, &sched, &lifetimes, &library);
         let controller = Controller::build(f, &graph, &sched);

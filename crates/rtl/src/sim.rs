@@ -84,7 +84,11 @@ pub struct RtlSimulator<'a> {
 impl<'a> RtlSimulator<'a> {
     /// Creates a simulator for one scheduled function.
     pub fn new(function: &'a Function, graph: &'a DependenceGraph, schedule: &'a Schedule) -> Self {
-        RtlSimulator { function, graph, schedule }
+        RtlSimulator {
+            function,
+            graph,
+            schedule,
+        }
     }
 
     /// Runs one block evaluation with the inputs of `env`.
@@ -131,7 +135,8 @@ impl<'a> RtlSimulator<'a> {
             // Section 3.1.2 is about), but the *controller* taps condition
             // signals combinationally: a branch condition computed in this
             // cycle steers the commits of this same cycle.
-            let mut written_this_state: std::collections::BTreeSet<VarId> = std::collections::BTreeSet::new();
+            let mut written_this_state: std::collections::BTreeSet<VarId> =
+                std::collections::BTreeSet::new();
 
             let read = |value: Value, wires: &BTreeMap<VarId, u64>| -> u64 {
                 match value {
@@ -168,10 +173,9 @@ impl<'a> RtlSimulator<'a> {
                                next_registers: &BTreeMap<VarId, u64>,
                                written: &std::collections::BTreeSet<VarId>|
              -> bool {
-                guard
-                    .terms
-                    .iter()
-                    .all(|(cond, polarity)| (read_fresh(*cond, wires, next_registers, written) != 0) == *polarity)
+                guard.terms.iter().all(|(cond, polarity)| {
+                    (read_fresh(*cond, wires, next_registers, written) != 0) == *polarity
+                })
             };
 
             for &op_id in &program_order {
@@ -219,10 +223,14 @@ impl<'a> RtlSimulator<'a> {
                     OpKind::ArrayRead { array } => {
                         let index = read(a(0), &wires);
                         let contents = array_snapshot.get(array).cloned().unwrap_or_default();
-                        Some(*contents.get(index as usize).ok_or(RtlSimError::OutOfBounds {
-                            array: function.vars[*array].name.clone(),
-                            index,
-                        })?)
+                        Some(
+                            *contents
+                                .get(index as usize)
+                                .ok_or(RtlSimError::OutOfBounds {
+                                    array: function.vars[*array].name.clone(),
+                                    index,
+                                })?,
+                        )
                     }
                     OpKind::ArrayWrite { array } => {
                         let index = read(a(0), &wires);
@@ -255,7 +263,10 @@ impl<'a> RtlSimulator<'a> {
             arrays = next_arrays;
         }
 
-        let mut outcome = RtlOutcome { cycles: num_states, ..RtlOutcome::default() };
+        let mut outcome = RtlOutcome {
+            cycles: num_states,
+            ..RtlOutcome::default()
+        };
         for (var_id, var) in function.vars.iter() {
             if var.is_array() {
                 if let Some(contents) = arrays.get(&var_id) {
@@ -282,7 +293,8 @@ mod tests {
     fn prepare(mut f: Function, period: f64) -> (Function, DependenceGraph, Schedule) {
         let graph = DependenceGraph::build(&f).unwrap();
         let lib = ResourceLibrary::new();
-        let mut sched = schedule(&f, &graph, &lib, &Constraints::microprocessor_block(period)).unwrap();
+        let mut sched =
+            schedule(&f, &graph, &lib, &Constraints::microprocessor_block(period)).unwrap();
         insert_wire_variables(&mut f, &mut sched);
         // Guards may have changed structurally (new blocks) — rebuild.
         let graph = DependenceGraph::build(&f).unwrap();

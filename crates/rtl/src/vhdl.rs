@@ -26,7 +26,12 @@ impl<'a> VhdlEmitter<'a> {
         schedule: &'a Schedule,
         controller: &'a Controller,
     ) -> Self {
-        VhdlEmitter { function, graph, schedule, controller }
+        VhdlEmitter {
+            function,
+            graph,
+            schedule,
+            controller,
+        }
     }
 
     fn sanitized(&self, var: VarId) -> String {
@@ -51,7 +56,11 @@ impl<'a> VhdlEmitter<'a> {
                 if c.ty().width() == 1 {
                     format!("'{}'", c.value())
                 } else {
-                    format!("std_logic_vector(to_unsigned({}, {}))", c.value(), c.ty().width())
+                    format!(
+                        "std_logic_vector(to_unsigned({}, {}))",
+                        c.value(),
+                        c.ty().width()
+                    )
                 }
             }
             Value::Var(v) => {
@@ -73,13 +82,26 @@ impl<'a> VhdlEmitter<'a> {
         match kind {
             OpKind::Add => format!("std_logic_vector(unsigned({}) + unsigned({}))", a(0), a(1)),
             OpKind::Sub => format!("std_logic_vector(unsigned({}) - unsigned({}))", a(0), a(1)),
-            OpKind::Mul => format!("std_logic_vector(resize(unsigned({}) * unsigned({}), {}))", a(0), a(1), 64),
+            OpKind::Mul => format!(
+                "std_logic_vector(resize(unsigned({}) * unsigned({}), {}))",
+                a(0),
+                a(1),
+                64
+            ),
             OpKind::And => format!("{} and {}", a(0), a(1)),
             OpKind::Or => format!("{} or {}", a(0), a(1)),
             OpKind::Xor => format!("{} xor {}", a(0), a(1)),
             OpKind::Not => format!("not {}", a(0)),
-            OpKind::Shl => format!("std_logic_vector(shift_left(unsigned({}), to_integer(unsigned({}))))", a(0), a(1)),
-            OpKind::Shr => format!("std_logic_vector(shift_right(unsigned({}), to_integer(unsigned({}))))", a(0), a(1)),
+            OpKind::Shl => format!(
+                "std_logic_vector(shift_left(unsigned({}), to_integer(unsigned({}))))",
+                a(0),
+                a(1)
+            ),
+            OpKind::Shr => format!(
+                "std_logic_vector(shift_right(unsigned({}), to_integer(unsigned({}))))",
+                a(0),
+                a(1)
+            ),
             OpKind::Eq => format!("bool_to_sl(unsigned({}) = unsigned({}))", a(0), a(1)),
             OpKind::Ne => format!("bool_to_sl(unsigned({}) /= unsigned({}))", a(0), a(1)),
             OpKind::Lt => format!("bool_to_sl(unsigned({}) < unsigned({}))", a(0), a(1)),
@@ -110,11 +132,15 @@ impl<'a> VhdlEmitter<'a> {
         let f = self.function;
         let name = &f.name;
         let mut out = String::new();
-        out.push_str("-- Generated by the Spark HLS reproduction (DAC 2002 coordinated transformations)\n");
+        out.push_str(
+            "-- Generated by the Spark HLS reproduction (DAC 2002 coordinated transformations)\n",
+        );
         out.push_str("library ieee;\nuse ieee.std_logic_1164.all;\nuse ieee.numeric_std.all;\n\n");
 
         // Entity: expand arrays element-wise so every port is a plain vector.
-        out.push_str(&format!("entity {name} is\n  port (\n    clk : in std_logic;\n    rst : in std_logic"));
+        out.push_str(&format!(
+            "entity {name} is\n  port (\n    clk : in std_logic;\n    rst : in std_logic"
+        ));
         for (var_id, var) in f.vars.iter() {
             let direction = match var.direction {
                 PortDirection::Input => "in",
@@ -184,7 +210,9 @@ impl<'a> VhdlEmitter<'a> {
                 ));
             }
         }
-        out.push_str("  begin\n    if rising_edge(clk) then\n      if rst = '1' then\n        state <= 0;\n");
+        out.push_str(
+            "  begin\n    if rising_edge(clk) then\n      if rst = '1' then\n        state <= 0;\n",
+        );
         out.push_str("      else\n        case state is\n");
         for step in &self.controller.steps {
             out.push_str(&format!("          when {} =>\n", step.index));
@@ -211,18 +239,29 @@ impl<'a> VhdlEmitter<'a> {
                 match &op.kind {
                     OpKind::ArrayWrite { array } => {
                         let target = match op.args[0] {
-                            Value::Const(c) => format!("r_{}_{}", self.sanitized(*array), c.value()),
+                            Value::Const(c) => {
+                                format!("r_{}_{}", self.sanitized(*array), c.value())
+                            }
                             _ => format!("-- dynamic write to {}", self.sanitized(*array)),
                         };
-                        out.push_str(&format!("{indent}{target} <= {};\n", self.operand(op.args[1])));
+                        out.push_str(&format!(
+                            "{indent}{target} <= {};\n",
+                            self.operand(op.args[1])
+                        ));
                     }
                     kind => {
                         if let Some(dest) = op.dest {
                             let rhs = self.expression(kind, &op.args);
                             if f.vars[dest].is_wire() {
-                                out.push_str(&format!("{indent}v_{} := {rhs};\n", self.sanitized(dest)));
+                                out.push_str(&format!(
+                                    "{indent}v_{} := {rhs};\n",
+                                    self.sanitized(dest)
+                                ));
                             } else {
-                                out.push_str(&format!("{indent}r_{} <= {rhs};\n", self.sanitized(dest)));
+                                out.push_str(&format!(
+                                    "{indent}r_{} <= {rhs};\n",
+                                    self.sanitized(dest)
+                                ));
                             }
                         }
                     }
@@ -267,7 +306,8 @@ mod tests {
     fn emit(mut f: Function) -> String {
         let graph = DependenceGraph::build(&f).unwrap();
         let lib = ResourceLibrary::new();
-        let mut sched = schedule(&f, &graph, &lib, &Constraints::microprocessor_block(20.0)).unwrap();
+        let mut sched =
+            schedule(&f, &graph, &lib, &Constraints::microprocessor_block(20.0)).unwrap();
         insert_wire_variables(&mut f, &mut sched);
         let graph = DependenceGraph::build(&f).unwrap();
         let controller = Controller::build(&f, &graph, &sched);
@@ -307,10 +347,22 @@ mod tests {
         // Footnote 1 of the paper: registers -> VHDL signals,
         // wire-variables -> VHDL variables.
         let vhdl = emit(sample());
-        assert!(vhdl.contains("signal r_t"), "the chained temporary t is a register signal candidate");
-        assert!(vhdl.contains("variable v_w_t_0"), "the inserted wire-variable becomes a process variable");
-        assert!(vhdl.contains(":="), "wire-variables are assigned with variable assignment");
-        assert!(vhdl.contains("<="), "registers are assigned with signal assignment");
+        assert!(
+            vhdl.contains("signal r_t"),
+            "the chained temporary t is a register signal candidate"
+        );
+        assert!(
+            vhdl.contains("variable v_w_t_0"),
+            "the inserted wire-variable becomes a process variable"
+        );
+        assert!(
+            vhdl.contains(":="),
+            "wire-variables are assigned with variable assignment"
+        );
+        assert!(
+            vhdl.contains("<="),
+            "registers are assigned with signal assignment"
+        );
     }
 
     #[test]

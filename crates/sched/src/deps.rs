@@ -26,8 +26,12 @@ pub enum SchedError {
 impl std::fmt::Display for SchedError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SchedError::ContainsLoops => write!(f, "function contains loops; unroll them before scheduling"),
-            SchedError::ContainsCalls => write!(f, "function contains calls; inline them before scheduling"),
+            SchedError::ContainsLoops => {
+                write!(f, "function contains loops; unroll them before scheduling")
+            }
+            SchedError::ContainsCalls => {
+                write!(f, "function contains calls; inline them before scheduling")
+            }
             SchedError::Unschedulable(msg) => write!(f, "unschedulable: {msg}"),
         }
     }
@@ -53,9 +57,9 @@ impl Guard {
     /// Two guards are mutually exclusive when they disagree on the polarity
     /// of some shared condition.
     pub fn mutually_exclusive(&self, other: &Guard) -> bool {
-        self.terms.iter().any(|(cond, pol)| {
-            other.terms.iter().any(|(c2, p2)| c2 == cond && p2 != pol)
-        })
+        self.terms
+            .iter()
+            .any(|(cond, pol)| other.terms.iter().any(|(c2, p2)| c2 == cond && p2 != pol))
     }
 }
 
@@ -126,7 +130,12 @@ impl DependenceGraph {
             for (cond, _) in &guard.terms {
                 if let Some(cond_var) = cond.as_var() {
                     for &producer in last_defs.get(&cond_var).into_iter().flatten() {
-                        edges.push(Dependence { from: producer, to: op_id, kind: DepKind::Control, var: cond_var });
+                        edges.push(Dependence {
+                            from: producer,
+                            to: op_id,
+                            kind: DepKind::Control,
+                            var: cond_var,
+                        });
                     }
                 }
             }
@@ -135,7 +144,12 @@ impl DependenceGraph {
             for used in op.uses() {
                 for &producer in last_defs.get(&used).into_iter().flatten() {
                     if !graph.guards[&producer].mutually_exclusive(&guard) {
-                        edges.push(Dependence { from: producer, to: op_id, kind: DepKind::Flow, var: used });
+                        edges.push(Dependence {
+                            from: producer,
+                            to: op_id,
+                            kind: DepKind::Flow,
+                            var: used,
+                        });
                     }
                 }
             }
@@ -144,12 +158,22 @@ impl DependenceGraph {
                 // Output dependences on earlier defs, anti dependences on earlier uses.
                 for &producer in last_defs.get(&defined).into_iter().flatten() {
                     if !graph.guards[&producer].mutually_exclusive(&guard) {
-                        edges.push(Dependence { from: producer, to: op_id, kind: DepKind::Output, var: defined });
+                        edges.push(Dependence {
+                            from: producer,
+                            to: op_id,
+                            kind: DepKind::Output,
+                            var: defined,
+                        });
                     }
                 }
                 for &reader in last_uses.get(&defined).into_iter().flatten() {
                     if reader != op_id && !graph.guards[&reader].mutually_exclusive(&guard) {
-                        edges.push(Dependence { from: reader, to: op_id, kind: DepKind::Anti, var: defined });
+                        edges.push(Dependence {
+                            from: reader,
+                            to: op_id,
+                            kind: DepKind::Anti,
+                            var: defined,
+                        });
                     }
                 }
             }
@@ -258,8 +282,12 @@ mod tests {
         let f = b.finish();
         let graph = DependenceGraph::build(&f).unwrap();
         let preds = graph.preds_of(use_x);
-        assert!(preds.iter().any(|d| d.from == def_x && d.kind == DepKind::Flow));
-        assert!(preds.iter().any(|d| d.from == def_cond && d.kind == DepKind::Control));
+        assert!(preds
+            .iter()
+            .any(|d| d.from == def_x && d.kind == DepKind::Flow));
+        assert!(preds
+            .iter()
+            .any(|d| d.from == def_cond && d.kind == DepKind::Control));
     }
 
     #[test]
@@ -273,8 +301,12 @@ mod tests {
         let f = b.finish();
         let graph = DependenceGraph::build(&f).unwrap();
         let preds = graph.preds_of(def2);
-        assert!(preds.iter().any(|d| d.from == def1 && d.kind == DepKind::Output));
-        assert!(preds.iter().any(|d| d.from == reader && d.kind == DepKind::Anti));
+        assert!(preds
+            .iter()
+            .any(|d| d.from == def1 && d.kind == DepKind::Output));
+        assert!(preds
+            .iter()
+            .any(|d| d.from == reader && d.kind == DepKind::Anti));
     }
 
     #[test]
@@ -290,7 +322,10 @@ mod tests {
         let f = b.finish();
         let graph = DependenceGraph::build(&f).unwrap();
         let preds = graph.preds_of(else_def);
-        assert!(!preds.iter().any(|d| d.from == then_def), "mutually exclusive defs do not order each other");
+        assert!(
+            !preds.iter().any(|d| d.from == then_def),
+            "mutually exclusive defs do not order each other"
+        );
     }
 
     #[test]
@@ -301,12 +336,18 @@ mod tests {
         b.copy(i, Value::Var(i));
         b.loop_end();
         let f = b.finish();
-        assert_eq!(DependenceGraph::build(&f).unwrap_err(), SchedError::ContainsLoops);
+        assert_eq!(
+            DependenceGraph::build(&f).unwrap_err(),
+            SchedError::ContainsLoops
+        );
 
         let mut b = FunctionBuilder::new("g");
         let r = b.var("r", Type::Bits(8));
         b.call(Some(r), "h", vec![]);
         let f = b.finish();
-        assert_eq!(DependenceGraph::build(&f).unwrap_err(), SchedError::ContainsCalls);
+        assert_eq!(
+            DependenceGraph::build(&f).unwrap_err(),
+            SchedError::ContainsCalls
+        );
     }
 }

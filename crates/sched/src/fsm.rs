@@ -54,7 +54,10 @@ impl Controller {
     /// Builds the controller from a schedule.
     pub fn build(function: &Function, graph: &DependenceGraph, schedule: &Schedule) -> Self {
         let mut steps: Vec<ControlStep> = (0..schedule.num_states)
-            .map(|index| ControlStep { index, ops: Vec::new() })
+            .map(|index| ControlStep {
+                index,
+                ops: Vec::new(),
+            })
             .collect();
         let mut all_ops: Vec<OpId> = function.live_ops();
         // Preserve program order within a state (ties broken by start time).
@@ -92,21 +95,37 @@ impl Controller {
 
     /// Longest combinational path over all states (ns).
     pub fn critical_path_ns(&self) -> f64 {
-        self.steps.iter().map(ControlStep::critical_path_ns).fold(0.0, f64::max)
+        self.steps
+            .iter()
+            .map(ControlStep::critical_path_ns)
+            .fold(0.0, f64::max)
     }
 }
 
 impl std::fmt::Display for Controller {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         for step in &self.steps {
-            writeln!(f, "state S{} ({} ops, {:.2} ns):", step.index, step.ops.len(), step.critical_path_ns())?;
+            writeln!(
+                f,
+                "state S{} ({} ops, {:.2} ns):",
+                step.index,
+                step.ops.len(),
+                step.critical_path_ns()
+            )?;
             for op in &step.ops {
                 let guard = if op.guard.is_unconditional() {
                     String::new()
                 } else {
                     format!(" [{} guard term(s)]", op.guard.terms.len())
                 };
-                writeln!(f, "  op{} @ {:.2}..{:.2} ns{}", op.op.raw(), op.start_ns, op.finish_ns, guard)?;
+                writeln!(
+                    f,
+                    "  op{} @ {:.2}..{:.2} ns{}",
+                    op.op.raw(),
+                    op.start_ns,
+                    op.finish_ns,
+                    guard
+                )?;
             }
         }
         Ok(())
@@ -147,7 +166,11 @@ mod tests {
         assert_eq!(controller.steps[0].ops.len(), f.live_op_count());
         assert!(controller.critical_path_ns() > 0.0);
         // Guarded ops carry their guards.
-        let guarded = controller.steps[0].ops.iter().filter(|o| !o.guard.is_unconditional()).count();
+        let guarded = controller.steps[0]
+            .ops
+            .iter()
+            .filter(|o| !o.guard.is_unconditional())
+            .count();
         assert_eq!(guarded, 2);
     }
 

@@ -62,9 +62,11 @@ impl FuClass {
             OpKind::Shl | OpKind::Shr => FuClass::Shifter,
             OpKind::Select => FuClass::Mux,
             OpKind::ArrayRead { .. } | OpKind::ArrayWrite { .. } => FuClass::Mux,
-            OpKind::Copy | OpKind::Slice { .. } | OpKind::Concat | OpKind::Call { .. } | OpKind::Return => {
-                FuClass::Wire
-            }
+            OpKind::Copy
+            | OpKind::Slice { .. }
+            | OpKind::Concat
+            | OpKind::Call { .. }
+            | OpKind::Return => FuClass::Wire,
         }
     }
 
@@ -113,15 +115,67 @@ pub struct ResourceLibrary {
 impl Default for ResourceLibrary {
     fn default() -> Self {
         let mut specs = BTreeMap::new();
-        specs.insert(FuClass::Adder, FuSpec { delay_ns: 2.0, area: 32.0 });
-        specs.insert(FuClass::Subtractor, FuSpec { delay_ns: 2.0, area: 36.0 });
-        specs.insert(FuClass::Multiplier, FuSpec { delay_ns: 6.0, area: 300.0 });
-        specs.insert(FuClass::Comparator, FuSpec { delay_ns: 1.2, area: 18.0 });
-        specs.insert(FuClass::Logic, FuSpec { delay_ns: 0.4, area: 8.0 });
-        specs.insert(FuClass::Shifter, FuSpec { delay_ns: 1.6, area: 48.0 });
-        specs.insert(FuClass::Mux, FuSpec { delay_ns: 0.5, area: 6.0 });
-        specs.insert(FuClass::Wire, FuSpec { delay_ns: 0.0, area: 0.0 });
-        ResourceLibrary { specs, mux_delay_ns: 0.5, register_bit_area: 6.0 }
+        specs.insert(
+            FuClass::Adder,
+            FuSpec {
+                delay_ns: 2.0,
+                area: 32.0,
+            },
+        );
+        specs.insert(
+            FuClass::Subtractor,
+            FuSpec {
+                delay_ns: 2.0,
+                area: 36.0,
+            },
+        );
+        specs.insert(
+            FuClass::Multiplier,
+            FuSpec {
+                delay_ns: 6.0,
+                area: 300.0,
+            },
+        );
+        specs.insert(
+            FuClass::Comparator,
+            FuSpec {
+                delay_ns: 1.2,
+                area: 18.0,
+            },
+        );
+        specs.insert(
+            FuClass::Logic,
+            FuSpec {
+                delay_ns: 0.4,
+                area: 8.0,
+            },
+        );
+        specs.insert(
+            FuClass::Shifter,
+            FuSpec {
+                delay_ns: 1.6,
+                area: 48.0,
+            },
+        );
+        specs.insert(
+            FuClass::Mux,
+            FuSpec {
+                delay_ns: 0.5,
+                area: 6.0,
+            },
+        );
+        specs.insert(
+            FuClass::Wire,
+            FuSpec {
+                delay_ns: 0.0,
+                area: 0.0,
+            },
+        );
+        ResourceLibrary {
+            specs,
+            mux_delay_ns: 0.5,
+            register_bit_area: 6.0,
+        }
     }
 }
 
@@ -140,7 +194,10 @@ impl ResourceLibrary {
 
     /// Characterisation of a class.
     pub fn spec(&self, class: FuClass) -> FuSpec {
-        self.specs.get(&class).copied().unwrap_or(FuSpec { delay_ns: 1.0, area: 10.0 })
+        self.specs.get(&class).copied().unwrap_or(FuSpec {
+            delay_ns: 1.0,
+            area: 10.0,
+        })
     }
 
     /// Delay of one operation, taking operand shapes into account: an array
@@ -185,14 +242,20 @@ pub struct Allocation {
 impl Allocation {
     /// The microprocessor-block scenario: effectively unlimited units.
     pub fn unlimited() -> Self {
-        Allocation { limits: BTreeMap::new(), unlimited: true }
+        Allocation {
+            limits: BTreeMap::new(),
+            unlimited: true,
+        }
     }
 
     /// An empty, fully constrained allocation; add classes with
     /// [`Self::with_limit`]. Classes that are never added default to one unit
     /// (except [`FuClass::Wire`], which is always free).
     pub fn constrained() -> Self {
-        Allocation { limits: BTreeMap::new(), unlimited: false }
+        Allocation {
+            limits: BTreeMap::new(),
+            unlimited: false,
+        }
     }
 
     /// A typical ASIC-style allocation used by the baseline flow: one unit of
@@ -246,7 +309,9 @@ mod tests {
     #[test]
     fn constant_index_array_reads_are_free() {
         let lib = ResourceLibrary::new();
-        let read = OpKind::ArrayRead { array: spark_ir::VarId::from_raw(0) };
+        let read = OpKind::ArrayRead {
+            array: spark_ir::VarId::from_raw(0),
+        };
         assert_eq!(lib.op_delay(&read, &[Value::word(3)]), 0.0);
         assert!(lib.op_delay(&read, &[Value::Var(spark_ir::VarId::from_raw(1))]) > 0.0);
         assert_eq!(lib.op_area(&read, &[Value::word(3)]), 0.0);
@@ -270,7 +335,13 @@ mod tests {
 
     #[test]
     fn library_overrides() {
-        let lib = ResourceLibrary::new().with_spec(FuClass::Adder, FuSpec { delay_ns: 3.5, area: 40.0 });
+        let lib = ResourceLibrary::new().with_spec(
+            FuClass::Adder,
+            FuSpec {
+                delay_ns: 3.5,
+                area: 40.0,
+            },
+        );
         assert_eq!(lib.spec(FuClass::Adder).delay_ns, 3.5);
         assert_eq!(lib.op_delay(&OpKind::Add, &[]), 3.5);
     }

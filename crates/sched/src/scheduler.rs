@@ -118,7 +118,9 @@ impl Schedule {
     /// The longest combinational path (ns) over all states — the cycle time
     /// the design actually needs.
     pub fn critical_path_ns(&self) -> f64 {
-        (0..self.num_states).map(|s| self.state_critical_path(s)).fold(0.0, f64::max)
+        (0..self.num_states)
+            .map(|s| self.state_critical_path(s))
+            .fold(0.0, f64::max)
     }
 
     /// Total number of scheduled operations.
@@ -185,7 +187,11 @@ pub fn schedule(
                             || block_of.get(&dep.from) == block_of.get(&op_id))
                 }
             };
-            let minimum = if same_state_allowed { producer_state } else { producer_state + 1 };
+            let minimum = if same_state_allowed {
+                producer_state
+            } else {
+                producer_state + 1
+            };
             state = state.max(minimum);
         }
 
@@ -231,7 +237,10 @@ pub fn schedule(
                 let class_instances = instances[state].entry(class).or_default();
                 let mut found = None;
                 for (index, occupants) in class_instances.iter().enumerate() {
-                    if occupants.iter().all(|&other| graph.mutually_exclusive(other, op_id)) {
+                    if occupants
+                        .iter()
+                        .all(|&other| graph.mutually_exclusive(other, op_id))
+                    {
                         found = Some(index);
                         break;
                     }
@@ -250,7 +259,10 @@ pub fn schedule(
                 continue;
             };
             if !class.is_free() {
-                instances[state].get_mut(&class).expect("class entry exists")[instance].push(op_id);
+                instances[state]
+                    .get_mut(&class)
+                    .expect("class entry exists")[instance]
+                    .push(op_id);
             }
 
             result.op_state.insert(op_id, state);
@@ -261,13 +273,21 @@ pub fn schedule(
         }
     }
 
-    result.num_states = result.op_state.values().copied().max().map(|m| m + 1).unwrap_or(0).max(
-        if graph.order.is_empty() { 0 } else { 1 },
-    );
+    result.num_states = result
+        .op_state
+        .values()
+        .copied()
+        .max()
+        .map(|m| m + 1)
+        .unwrap_or(0)
+        .max(if graph.order.is_empty() { 0 } else { 1 });
     // Functional units needed: per class, the maximum instance count over states.
     for state_instances in &instances {
         for (&class, class_instances) in state_instances {
-            let used = class_instances.iter().filter(|occupants| !occupants.is_empty()).count();
+            let used = class_instances
+                .iter()
+                .filter(|occupants| !occupants.is_empty())
+                .count();
             let entry = result.fu_instances.entry(class).or_insert(0);
             *entry = (*entry).max(used);
         }
@@ -343,7 +363,8 @@ mod tests {
         let graph = DependenceGraph::build(&f).unwrap();
         let lib = ResourceLibrary::new();
 
-        let unlimited = schedule(&f, &graph, &lib, &Constraints::microprocessor_block(10.0)).unwrap();
+        let unlimited =
+            schedule(&f, &graph, &lib, &Constraints::microprocessor_block(10.0)).unwrap();
         assert_eq!(unlimited.num_states, 1);
         assert_eq!(unlimited.fu_instances[&FuClass::Adder], 4);
 
@@ -373,7 +394,10 @@ mod tests {
         let constrained = Constraints::microprocessor_block(10.0)
             .with_allocation(Allocation::constrained().with_limit(FuClass::Adder, 1));
         let sched = schedule(&f, &graph, &lib, &constrained).unwrap();
-        assert_eq!(sched.num_states, 1, "exclusive branches share the single adder");
+        assert_eq!(
+            sched.num_states, 1,
+            "exclusive branches share the single adder"
+        );
         assert_eq!(sched.fu_instances[&FuClass::Adder], 1);
     }
 
@@ -393,7 +417,8 @@ mod tests {
         let graph = DependenceGraph::build(&f).unwrap();
         let lib = ResourceLibrary::new();
 
-        let with_cross = schedule(&f, &graph, &lib, &Constraints::microprocessor_block(10.0)).unwrap();
+        let with_cross =
+            schedule(&f, &graph, &lib, &Constraints::microprocessor_block(10.0)).unwrap();
         assert_eq!(with_cross.num_states, 1);
 
         let mut no_cross = Constraints::microprocessor_block(10.0);
@@ -427,6 +452,6 @@ mod tests {
         let sched = schedule(&f, &graph, &lib, &Constraints::microprocessor_block(5.0)).unwrap();
         assert_eq!(sched.num_states, 1);
         assert_eq!(sched.critical_path_ns(), 0.0);
-        assert!(sched.fu_instances.get(&FuClass::Wire).is_none());
+        assert!(!sched.fu_instances.contains_key(&FuClass::Wire));
     }
 }

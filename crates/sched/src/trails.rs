@@ -50,7 +50,9 @@ pub fn validate_chaining(
     let cfg = Cfg::build(function);
 
     for &op_id in &graph.order {
-        let Some(&state) = schedule.op_state.get(&op_id) else { continue };
+        let Some(&state) = schedule.op_state.get(&op_id) else {
+            continue;
+        };
         let same_state_producers: Vec<OpId> = graph
             .preds_of(op_id)
             .iter()
@@ -91,7 +93,9 @@ pub fn validate_chaining(
         for &producer in &same_state_producers {
             let producer_block = function.block_of(producer);
             let reachable = producer_block == own_block
-                || producer_block.map(|b| reachable_blocks.contains(&b)).unwrap_or(false);
+                || producer_block
+                    .map(|b| reachable_blocks.contains(&b))
+                    .unwrap_or(false);
             if !reachable {
                 return Err(SchedError::Unschedulable(format!(
                     "operation chained to a producer that is on no backward trail ({:?})",
@@ -156,9 +160,15 @@ mod tests {
         let sched = schedule(&f, &graph, &lib, &Constraints::microprocessor_block(10.0)).unwrap();
         assert_eq!(sched.num_states, 1);
         let report = validate_chaining(&f, &graph, &sched, &lib).unwrap();
-        assert!(report.chained_pairs >= 3, "op 4 chains with the writes on all trails");
+        assert!(
+            report.chained_pairs >= 3,
+            "op 4 chains with the writes on all trails"
+        );
         assert!(report.cross_block_pairs >= 3);
-        assert!(report.max_trails >= 3, "the paper lists three trails into BB8");
+        assert!(
+            report.max_trails >= 3,
+            "the paper lists three trails into BB8"
+        );
         assert!(report.max_trail_delay_ns <= 10.0);
     }
 
@@ -184,7 +194,8 @@ mod tests {
         let f = figure5();
         let graph = DependenceGraph::build(&f).unwrap();
         let lib = ResourceLibrary::new();
-        let mut sched = schedule(&f, &graph, &lib, &Constraints::microprocessor_block(10.0)).unwrap();
+        let mut sched =
+            schedule(&f, &graph, &lib, &Constraints::microprocessor_block(10.0)).unwrap();
         // Corrupt a finish time beyond the clock period.
         let victim = *sched.op_finish.keys().last().unwrap();
         sched.op_finish.insert(victim, 99.0);

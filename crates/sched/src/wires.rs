@@ -44,12 +44,19 @@ pub fn insert_wire_variables(function: &mut Function, schedule: &mut Schedule) -
     // Group same-state flow pairs by (variable, state).
     // For determinism iterate ops in program order.
     let order: Vec<OpId> = function.live_ops();
-    let position: BTreeMap<OpId, usize> = order.iter().copied().enumerate().map(|(i, o)| (o, i)).collect();
+    let position: BTreeMap<OpId, usize> = order
+        .iter()
+        .copied()
+        .enumerate()
+        .map(|(i, o)| (o, i))
+        .collect();
 
     // variable -> state -> (writers, readers) among live ops.
     let mut accesses: BTreeMap<(VarId, usize), (Vec<OpId>, Vec<OpId>)> = BTreeMap::new();
     for &op_id in &order {
-        let Some(&state) = schedule.op_state.get(&op_id) else { continue };
+        let Some(&state) = schedule.op_state.get(&op_id) else {
+            continue;
+        };
         let op = &function.ops[op_id];
         for used in op.uses() {
             if !function.vars[used].is_array() {
@@ -69,7 +76,11 @@ pub fn insert_wire_variables(function: &mut Function, schedule: &mut Schedule) -
         }
         // A reader needs the wire only if some writer precedes it in program
         // order (otherwise it legitimately reads the register).
-        let first_writer = writers.iter().copied().min_by_key(|w| position[w]).expect("non-empty");
+        let first_writer = writers
+            .iter()
+            .copied()
+            .min_by_key(|w| position[w])
+            .expect("non-empty");
         let chained_readers: Vec<OpId> = readers
             .iter()
             .copied()
@@ -96,7 +107,8 @@ pub fn insert_wire_variables(function: &mut Function, schedule: &mut Schedule) -
         if needs_initializer {
             if let Some((region, index)) = outermost_conditional_before(function, first_writer) {
                 let init_block = function.add_block(format!("winit_{}", function.vars[var].name));
-                let init_op = function.push_op(init_block, OpKind::Copy, Some(wire), vec![Value::Var(var)]);
+                let init_op =
+                    function.push_op(init_block, OpKind::Copy, Some(wire), vec![Value::Var(var)]);
                 let node = function.add_block_node(init_block);
                 function.regions[region].nodes.insert(index, node);
                 schedule.op_state.insert(init_op, state);
@@ -113,10 +125,16 @@ pub fn insert_wire_variables(function: &mut Function, schedule: &mut Schedule) -
                 // A writer after every chained reader does not need rewriting.
                 continue;
             }
-            let Some(block) = function.block_of(writer) else { continue };
+            let Some(block) = function.block_of(writer) else {
+                continue;
+            };
             function.ops[writer].dest = Some(wire);
             let commit = function.add_op(OpKind::Copy, Some(var), vec![Value::Var(wire)]);
-            let at = function.blocks[block].ops.iter().position(|&o| o == writer).expect("writer in block");
+            let at = function.blocks[block]
+                .ops
+                .iter()
+                .position(|&o| o == writer)
+                .expect("writer in block");
             function.blocks[block].insert(at + 1, commit);
             let finish = schedule.op_finish.get(&writer).copied().unwrap_or(0.0);
             schedule.op_state.insert(commit, state);
@@ -142,8 +160,15 @@ pub fn insert_wire_variables(function: &mut Function, schedule: &mut Schedule) -
 
 /// Returns `true` if the op sits inside at least one `if` branch.
 fn is_guarded(function: &Function, op: OpId) -> bool {
-    let Some(block) = function.block_of(op) else { return false };
-    fn walk(function: &Function, region: RegionId, target: spark_ir::BlockId, depth: usize) -> Option<usize> {
+    let Some(block) = function.block_of(op) else {
+        return false;
+    };
+    fn walk(
+        function: &Function,
+        region: RegionId,
+        target: spark_ir::BlockId,
+        depth: usize,
+    ) -> Option<usize> {
         for &node in &function.regions[region].nodes {
             match &function.nodes[node] {
                 HtgNode::Block(b) if *b == target => return Some(depth),
@@ -165,7 +190,9 @@ fn is_guarded(function: &Function, op: OpId) -> bool {
         }
         None
     }
-    walk(function, function.body, block, 0).map(|d| d > 0).unwrap_or(false)
+    walk(function, function.body, block, 0)
+        .map(|d| d > 0)
+        .unwrap_or(false)
 }
 
 /// Finds the outermost compound node containing `op` and returns its parent
@@ -230,7 +257,8 @@ mod tests {
     fn schedule_and_insert(f: &mut Function, period: f64) -> (Schedule, WireReport) {
         let graph = DependenceGraph::build(f).unwrap();
         let lib = ResourceLibrary::new();
-        let mut sched = schedule(f, &graph, &lib, &Constraints::microprocessor_block(period)).unwrap();
+        let mut sched =
+            schedule(f, &graph, &lib, &Constraints::microprocessor_block(period)).unwrap();
         let report = insert_wire_variables(f, &mut sched);
         (sched, report)
     }
@@ -246,7 +274,7 @@ mod tests {
             // Every variable of the original must hold the same final value
             // (wire temporaries only add new names).
             for (name, value) in &a.scalars {
-                assert_eq!(Some(value), b.scalars.get(name).as_deref(), "scalar `{name}`");
+                assert_eq!(Some(value), b.scalars.get(name), "scalar `{name}`");
             }
             assert_eq!(a.arrays, b.arrays);
         }
@@ -277,7 +305,14 @@ mod tests {
             .unwrap();
         let src = f.ops[reader].args[0].as_var().unwrap();
         assert_eq!(f.vars[src].storage, StorageClass::Wire);
-        equivalent(&original, &f, &[Env::new().with_scalar("a", 7), Env::new().with_scalar("a", 250)]);
+        equivalent(
+            &original,
+            &f,
+            &[
+                Env::new().with_scalar("a", 7),
+                Env::new().with_scalar("a", 250),
+            ],
+        );
     }
 
     #[test]
@@ -317,8 +352,14 @@ mod tests {
         let (sched, report) = schedule_and_insert(&mut f, 10.0);
         assert_eq!(sched.num_states, 1);
         assert_eq!(report.wires_created, 1);
-        assert!(report.commit_copies >= 2, "a copy in each branch, as in Figure 6(b)");
-        assert_eq!(report.initializers, 1, "the wire is pre-initialised (Figure 7 situation)");
+        assert!(
+            report.commit_copies >= 2,
+            "a copy in each branch, as in Figure 6(b)"
+        );
+        assert_eq!(
+            report.initializers, 1,
+            "the wire is pre-initialised (Figure 7 situation)"
+        );
         verify(&f).expect("well formed");
         let envs: Vec<Env> = [0u64, 1]
             .into_iter()
@@ -387,7 +428,10 @@ mod tests {
         equivalent(
             &original,
             &f,
-            &[Env::new().with_scalar("len1", 2).with_scalar("len2", 3).with_scalar("len3", 4)],
+            &[Env::new()
+                .with_scalar("len1", 2)
+                .with_scalar("len2", 3)
+                .with_scalar("len3", 4)],
         );
     }
 }

@@ -35,8 +35,14 @@ pub fn reverse_speculation(function: &mut Function) -> Report {
                 continue;
             };
             let def_use = DefUse::compute(function);
-            let then_ops: BTreeSet<OpId> = function.ops_in_region(if_node.then_region).into_iter().collect();
-            let else_ops: BTreeSet<OpId> = function.ops_in_region(if_node.else_region).into_iter().collect();
+            let then_ops: BTreeSet<OpId> = function
+                .ops_in_region(if_node.then_region)
+                .into_iter()
+                .collect();
+            let else_ops: BTreeSet<OpId> = function
+                .ops_in_region(if_node.else_region)
+                .into_iter()
+                .collect();
 
             let candidate_ops: Vec<OpId> = function.blocks[block].ops.clone();
             for op_id in candidate_ops.into_iter().rev() {
@@ -61,7 +67,9 @@ pub fn reverse_speculation(function: &mut Function) -> Report {
                 }
                 let all_then = users.iter().all(|u| then_ops.contains(u));
                 let all_else = users.iter().all(|u| else_ops.contains(u));
-                let all_inside = users.iter().all(|u| then_ops.contains(u) || else_ops.contains(u));
+                let all_inside = users
+                    .iter()
+                    .all(|u| then_ops.contains(u) || else_ops.contains(u));
                 // Do not move if another op in this same block (after op_id)
                 // also defines dest: keep it simple and skip multi-def blocks.
                 if def_use.defs_of(dest).len() != 1 {
@@ -71,14 +79,21 @@ pub fn reverse_speculation(function: &mut Function) -> Report {
                 // what its operands read: skip if any operand is redefined
                 // between the op and the end of the block.
                 let operand_vars: BTreeSet<_> = op.args.iter().filter_map(|a| a.as_var()).collect();
-                let position = function.blocks[block].ops.iter().position(|&o| o == op_id).unwrap_or(0);
-                let redefined_later = function.blocks[block].ops[position + 1..].iter().any(|&later| {
-                    !function.ops[later].dead
-                        && function.ops[later]
-                            .def()
-                            .map(|d| operand_vars.contains(&d))
-                            .unwrap_or(false)
-                });
+                let position = function.blocks[block]
+                    .ops
+                    .iter()
+                    .position(|&o| o == op_id)
+                    .unwrap_or(0);
+                let redefined_later =
+                    function.blocks[block].ops[position + 1..]
+                        .iter()
+                        .any(|&later| {
+                            !function.ops[later].dead
+                                && function.ops[later]
+                                    .def()
+                                    .map(|d| operand_vars.contains(&d))
+                                    .unwrap_or(false)
+                        });
                 if redefined_later {
                     continue;
                 }
@@ -99,12 +114,20 @@ pub fn reverse_speculation(function: &mut Function) -> Report {
         }
     }
     if report.changes > 0 {
-        report.note(format!("moved or duplicated {} operation(s) into branches", report.changes));
+        report.note(format!(
+            "moved or duplicated {} operation(s) into branches",
+            report.changes
+        ));
     }
     report
 }
 
-fn move_op_into_region(function: &mut Function, from_block: spark_ir::BlockId, op: OpId, region: RegionId) {
+fn move_op_into_region(
+    function: &mut Function,
+    from_block: spark_ir::BlockId,
+    op: OpId,
+    region: RegionId,
+) {
     function.blocks[from_block].remove(op);
     let target_block = first_block_of_region(function, region);
     function.blocks[target_block].insert(0, op);
@@ -180,7 +203,10 @@ pub fn early_condition_execution(function: &mut Function) -> Report {
         }
     }
     if report.changes > 0 {
-        report.note(format!("advanced {} condition computation(s)", report.changes));
+        report.note(format!(
+            "advanced {} condition computation(s)",
+            report.changes
+        ));
     }
     report
 }
@@ -218,7 +244,11 @@ mod tests {
             let a = Interpreter::new(&p0).run(&original.name, &env).unwrap();
             let b = Interpreter::new(&p1).run(&transformed.name, &env).unwrap();
             for output in &outputs {
-                assert_eq!(a.scalar(output), b.scalar(output), "output `{output}` differs");
+                assert_eq!(
+                    a.scalar(output),
+                    b.scalar(output),
+                    "output `{output}` differs"
+                );
             }
             assert_eq!(a.arrays, b.arrays);
         }

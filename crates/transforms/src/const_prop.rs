@@ -167,7 +167,9 @@ pub fn constant_propagation(function: &mut Function) -> Report {
             if !matches!(def_op.kind, OpKind::Copy) {
                 continue;
             }
-            let Some(constant) = def_op.args[0].as_const() else { continue };
+            let Some(constant) = def_op.args[0].as_const() else {
+                continue;
+            };
             // A definition inside a loop body may execute many times; the
             // constant is still the same every time, so forwarding is safe.
             for &use_op in def_use.uses_of(*var) {
@@ -262,7 +264,11 @@ mod tests {
         let z = b.var("z", Type::Bits(8));
         b.assign(OpKind::Add, x, vec![Value::Var(a), Value::word(0)]);
         b.assign(OpKind::Mul, y, vec![Value::Var(a), Value::word(1)]);
-        b.assign(OpKind::Select, z, vec![Value::bool(true), Value::Var(a), Value::word(9)]);
+        b.assign(
+            OpKind::Select,
+            z,
+            vec![Value::bool(true), Value::Var(a), Value::word(9)],
+        );
         let mut f = b.finish();
         constant_propagation(&mut f);
         for op in f.live_ops() {
@@ -308,16 +314,58 @@ mod tests {
     fn fold_constants_covers_all_pure_kinds() {
         let c = |v: u64| Constant::word(v);
         let t = Type::Bits(32);
-        assert_eq!(fold_constants(&OpKind::Sub, &[c(5), c(3)], t).unwrap().value(), 2);
-        assert_eq!(fold_constants(&OpKind::And, &[c(0b1100), c(0b1010)], t).unwrap().value(), 0b1000);
-        assert_eq!(fold_constants(&OpKind::Or, &[c(0b1100), c(0b1010)], t).unwrap().value(), 0b1110);
-        assert_eq!(fold_constants(&OpKind::Xor, &[c(0b1100), c(0b1010)], t).unwrap().value(), 0b0110);
-        assert_eq!(fold_constants(&OpKind::Shl, &[c(1), c(4)], t).unwrap().value(), 16);
-        assert_eq!(fold_constants(&OpKind::Shr, &[c(16), c(4)], t).unwrap().value(), 1);
-        assert_eq!(fold_constants(&OpKind::Lt, &[c(1), c(2)], Type::Bool).unwrap().value(), 1);
-        assert_eq!(fold_constants(&OpKind::Ge, &[c(1), c(2)], Type::Bool).unwrap().value(), 0);
         assert_eq!(
-            fold_constants(&OpKind::Slice { hi: 3, lo: 2 }, &[c(0b1100)], Type::Bits(2)).unwrap().value(),
+            fold_constants(&OpKind::Sub, &[c(5), c(3)], t)
+                .unwrap()
+                .value(),
+            2
+        );
+        assert_eq!(
+            fold_constants(&OpKind::And, &[c(0b1100), c(0b1010)], t)
+                .unwrap()
+                .value(),
+            0b1000
+        );
+        assert_eq!(
+            fold_constants(&OpKind::Or, &[c(0b1100), c(0b1010)], t)
+                .unwrap()
+                .value(),
+            0b1110
+        );
+        assert_eq!(
+            fold_constants(&OpKind::Xor, &[c(0b1100), c(0b1010)], t)
+                .unwrap()
+                .value(),
+            0b0110
+        );
+        assert_eq!(
+            fold_constants(&OpKind::Shl, &[c(1), c(4)], t)
+                .unwrap()
+                .value(),
+            16
+        );
+        assert_eq!(
+            fold_constants(&OpKind::Shr, &[c(16), c(4)], t)
+                .unwrap()
+                .value(),
+            1
+        );
+        assert_eq!(
+            fold_constants(&OpKind::Lt, &[c(1), c(2)], Type::Bool)
+                .unwrap()
+                .value(),
+            1
+        );
+        assert_eq!(
+            fold_constants(&OpKind::Ge, &[c(1), c(2)], Type::Bool)
+                .unwrap()
+                .value(),
+            0
+        );
+        assert_eq!(
+            fold_constants(&OpKind::Slice { hi: 3, lo: 2 }, &[c(0b1100)], Type::Bits(2))
+                .unwrap()
+                .value(),
             0b11
         );
         assert!(fold_constants(&OpKind::Return, &[c(1)], t).is_none());

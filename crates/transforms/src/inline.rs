@@ -37,13 +37,17 @@ pub fn inline_calls(program: &mut Program, caller_name: &str) -> Report {
                 None
             }
         });
-        let Some((call_op, callee_name)) = call else { break };
+        let Some((call_op, callee_name)) = call else {
+            break;
+        };
         if callee_name == caller_name {
             report.note("recursive call left in place");
             break;
         }
         let Some(callee) = program.function(&callee_name).cloned() else {
-            report.note(format!("callee `{callee_name}` not found; call left in place"));
+            report.note(format!(
+                "callee `{callee_name}` not found; call left in place"
+            ));
             break;
         };
         let caller = program.function_mut(caller_name).expect("caller exists");
@@ -58,7 +62,10 @@ pub fn inline_calls(program: &mut Program, caller_name: &str) -> Report {
 /// `caller` whose callee is `callee`.
 fn inline_one(caller: &mut Function, callee: &Function, call_op: OpId) {
     let call = caller.ops[call_op].clone();
-    let OpKind::Call { callee: callee_name } = &call.kind else {
+    let OpKind::Call {
+        callee: callee_name,
+    } = &call.kind
+    else {
         panic!("inline_one requires a call operation");
     };
 
@@ -174,12 +181,16 @@ fn import_region(
                             }
                         }
                         OpKind::ArrayRead { array } => (
-                            OpKind::ArrayRead { array: map_var(*array) },
+                            OpKind::ArrayRead {
+                                array: map_var(*array),
+                            },
                             op.dest.map(map_var),
                             op.args.iter().map(|&a| map_val(a)).collect(),
                         ),
                         OpKind::ArrayWrite { array } => (
-                            OpKind::ArrayWrite { array: map_var(*array) },
+                            OpKind::ArrayWrite {
+                                array: map_var(*array),
+                            },
                             None,
                             op.args.iter().map(|&a| map_val(a)).collect(),
                         ),
@@ -202,13 +213,20 @@ fn import_region(
             }
             HtgNode::Loop(l) => {
                 let kind = match &l.kind {
-                    LoopKind::For { index, start, end, step } => LoopKind::For {
+                    LoopKind::For {
+                        index,
+                        start,
+                        end,
+                        step,
+                    } => LoopKind::For {
                         index: map_var(*index),
                         start: *start,
                         end: map_val(*end),
                         step: *step,
                     },
-                    LoopKind::While { cond } => LoopKind::While { cond: map_val(*cond) },
+                    LoopKind::While { cond } => LoopKind::While {
+                        cond: map_val(*cond),
+                    },
                 };
                 let body = import_region(caller, callee, l.body, var_map, ret_dest);
                 caller.add_loop_node(kind, body, l.trip_bound)
@@ -263,7 +281,10 @@ mod tests {
         let main = inlined.function("main").unwrap();
         verify(main).expect("inlined function is well formed");
         assert!(
-            !main.live_ops().iter().any(|&op| matches!(main.ops[op].kind, OpKind::Call { .. })),
+            !main
+                .live_ops()
+                .iter()
+                .any(|&op| matches!(main.ops[op].kind, OpKind::Call { .. })),
             "no calls remain"
         );
 
@@ -335,7 +356,11 @@ mod tests {
         // main: for i in 1..=3 { acc = acc + addone(i) }
         let mut cb = FunctionBuilder::new("addone");
         let x = cb.param("x", Type::Bits(32));
-        let y = cb.compute(OpKind::Add, Type::Bits(32), vec![Value::Var(x), Value::word(1)]);
+        let y = cb.compute(
+            OpKind::Add,
+            Type::Bits(32),
+            vec![Value::Var(x), Value::word(1)],
+        );
         cb.ret(Value::Var(y));
 
         let mut mb = FunctionBuilder::new("main");
@@ -354,7 +379,9 @@ mod tests {
         p.add_function(cb.finish());
         let original = p.clone();
         inline_calls(&mut p, "main");
-        let before = Interpreter::new(&original).run("main", &Env::new()).unwrap();
+        let before = Interpreter::new(&original)
+            .run("main", &Env::new())
+            .unwrap();
         let after = Interpreter::new(&p).run("main", &Env::new()).unwrap();
         assert_eq!(before.return_value, after.return_value);
         assert_eq!(after.return_value, Some(2 + 3 + 4));

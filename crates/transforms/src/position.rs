@@ -33,7 +33,14 @@ impl Positions {
         let mut positions = Positions::default();
         let mut counter = 0usize;
         let mut path = vec![function.body];
-        walk(function, function.body, &mut path, false, &mut counter, &mut positions);
+        walk(
+            function,
+            function.body,
+            &mut path,
+            false,
+            &mut counter,
+            &mut positions,
+        );
         positions
     }
 
@@ -54,11 +61,13 @@ impl Positions {
     /// outside their loop, and definitions inside conditional branches never
     /// dominate uses outside the branch.
     pub fn dominates(&self, def: OpId, user: OpId) -> bool {
-        let (Some(def_path), Some(use_path)) = (self.region_path.get(&def), self.region_path.get(&user))
+        let (Some(def_path), Some(use_path)) =
+            (self.region_path.get(&def), self.region_path.get(&user))
         else {
             return false;
         };
-        let (Some(&def_order), Some(&use_order)) = (self.order.get(&def), self.order.get(&user)) else {
+        let (Some(&def_order), Some(&use_order)) = (self.order.get(&def), self.order.get(&user))
+        else {
             return false;
         };
         if def_order >= use_order {

@@ -23,7 +23,12 @@ pub struct Report {
 impl Report {
     /// Creates an empty report for `pass` running on `function`.
     pub fn new(pass: &str, function: &str) -> Self {
-        Report { pass: pass.to_string(), function: function.to_string(), changes: 0, notes: Vec::new() }
+        Report {
+            pass: pass.to_string(),
+            function: function.to_string(),
+            changes: 0,
+            notes: Vec::new(),
+        }
     }
 
     /// Records `n` additional changes.
@@ -44,7 +49,11 @@ impl Report {
 
 impl fmt::Display for Report {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{}] {}: {} change(s)", self.pass, self.function, self.changes)?;
+        write!(
+            f,
+            "[{}] {}: {} change(s)",
+            self.pass, self.function, self.changes
+        )?;
         for note in &self.notes {
             write!(f, "; {note}")?;
         }

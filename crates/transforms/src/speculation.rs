@@ -37,7 +37,10 @@ pub struct SpeculationOptions {
 
 impl Default for SpeculationOptions {
     fn default() -> Self {
-        SpeculationOptions { max_hoists_per_branch: usize::MAX, speculate_comparisons: true }
+        SpeculationOptions {
+            max_hoists_per_branch: usize::MAX,
+            speculate_comparisons: true,
+        }
     }
 }
 
@@ -59,7 +62,11 @@ pub fn speculate_with(function: &mut Function, options: SpeculationOptions) -> R
 }
 
 /// Recursively speculates inside `region`; returns the number of hoists.
-fn speculate_region(function: &mut Function, region: RegionId, options: SpeculationOptions) -> usize {
+fn speculate_region(
+    function: &mut Function,
+    region: RegionId,
+    options: SpeculationOptions,
+) -> usize {
     let mut hoists = 0;
     // Work on a snapshot of node ids; hoisting inserts new nodes into this
     // region, so positions are re-resolved every iteration.
@@ -87,7 +94,12 @@ fn speculate_region(function: &mut Function, region: RegionId, options: Speculat
                 if !spec_ops.is_empty() {
                     let spec_block = function.add_block(format!("spec_{}", index));
                     for (kind, new_dest, args, _orig) in &spec_ops {
-                        let op = function.push_op(spec_block, kind.clone(), Some(*new_dest), args.clone());
+                        let op = function.push_op(
+                            spec_block,
+                            kind.clone(),
+                            Some(*new_dest),
+                            args.clone(),
+                        );
                         function.ops[op].speculative = true;
                     }
                     let spec_node = function.add_block_node(spec_block);
@@ -157,7 +169,8 @@ fn hoist_branch(
                     if hoistable {
                         let dest = dest.expect("hoistable op has a destination");
                         let ty = function.vars[dest].ty;
-                        let fresh = function.fresh_temp(&format!("spec_{}", function.vars[dest].name), ty);
+                        let fresh =
+                            function.fresh_temp(&format!("spec_{}", function.vars[dest].name), ty);
                         // Rewrite operands through the rename map so hoisted
                         // ops read the speculative values of earlier hoisted
                         // definitions in the same branch.
@@ -239,15 +252,27 @@ mod tests {
         let lc2 = b.var("lc2", Type::Bits(8));
         let lc3 = b.var("lc3", Type::Bits(8));
         b.assign(OpKind::And, lc1, vec![Value::Var(b1), Value::word(3)]);
-        let need2 = b.compute(OpKind::Gt, Type::Bool, vec![Value::Var(b1), Value::word(127)]);
+        let need2 = b.compute(
+            OpKind::Gt,
+            Type::Bool,
+            vec![Value::Var(b1), Value::word(127)],
+        );
         b.if_begin(Value::Var(need2));
         {
             b.assign(OpKind::And, lc2, vec![Value::Var(b2), Value::word(3)]);
-            let need3 = b.compute(OpKind::Gt, Type::Bool, vec![Value::Var(b2), Value::word(127)]);
+            let need3 = b.compute(
+                OpKind::Gt,
+                Type::Bool,
+                vec![Value::Var(b2), Value::word(127)],
+            );
             b.if_begin(Value::Var(need3));
             {
                 b.assign(OpKind::And, lc3, vec![Value::Var(b3), Value::word(3)]);
-                let t = b.compute(OpKind::Add, Type::Bits(8), vec![Value::Var(lc1), Value::Var(lc2)]);
+                let t = b.compute(
+                    OpKind::Add,
+                    Type::Bits(8),
+                    vec![Value::Var(lc1), Value::Var(lc2)],
+                );
                 b.assign(OpKind::Add, length, vec![Value::Var(t), Value::Var(lc3)]);
             }
             b.else_begin();
@@ -289,7 +314,11 @@ mod tests {
         for b1 in [0u64, 130, 255] {
             for b2 in [0u64, 200] {
                 for b3 in [1u64, 7] {
-                    assert_eq!(run(&p0, b1, b2, b3), run(&p1, b1, b2, b3), "b1={b1} b2={b2} b3={b3}");
+                    assert_eq!(
+                        run(&p0, b1, b2, b3),
+                        run(&p1, b1, b2, b3),
+                        "b1={b1} b2={b2} b3={b3}"
+                    );
                 }
             }
         }
@@ -348,7 +377,10 @@ mod tests {
         let original = b.finish();
         let mut f = original.clone();
         let report = speculate(&mut f);
-        assert!(report.is_noop(), "array writes must stay under their condition");
+        assert!(
+            report.is_noop(),
+            "array writes must stay under their condition"
+        );
 
         let mut p0 = Program::new();
         p0.add_function(original);
@@ -367,7 +399,10 @@ mod tests {
         let mut f = nested_length_function();
         let report = speculate_with(
             &mut f,
-            SpeculationOptions { max_hoists_per_branch: 1, speculate_comparisons: true },
+            SpeculationOptions {
+                max_hoists_per_branch: 1,
+                speculate_comparisons: true,
+            },
         );
         // With a limit of one per branch we hoist far fewer ops than the
         // unlimited case.

@@ -36,7 +36,10 @@ impl std::fmt::Display for UnrollError {
         match self {
             UnrollError::NonConstantBound => write!(f, "loop bound is not a constant"),
             UnrollError::TooManyIterations(n) => {
-                write!(f, "loop would unroll to {n} iterations (limit {MAX_UNROLL_ITERATIONS})")
+                write!(
+                    f,
+                    "loop would unroll to {n} iterations (limit {MAX_UNROLL_ITERATIONS})"
+                )
             }
             UnrollError::NotALoop => write!(f, "node is not a loop"),
         }
@@ -78,12 +81,21 @@ fn trip_count(start: Constant, end: Constant, step: i64) -> u64 {
 /// # Errors
 /// Returns [`UnrollError`] if the node is not a `for` loop with constant
 /// bounds or the trip count exceeds [`MAX_UNROLL_ITERATIONS`].
-pub fn unroll_loop_fully(function: &mut Function, loop_node: NodeId) -> Result<Report, UnrollError> {
+pub fn unroll_loop_fully(
+    function: &mut Function,
+    loop_node: NodeId,
+) -> Result<Report, UnrollError> {
     let mut report = Report::new("loop-unroll", &function.name);
     let HtgNode::Loop(loop_data) = function.nodes[loop_node].clone() else {
         return Err(UnrollError::NotALoop);
     };
-    let LoopKind::For { index, start, end, step } = loop_data.kind else {
+    let LoopKind::For {
+        index,
+        start,
+        end,
+        step,
+    } = loop_data.kind
+    else {
         return Err(UnrollError::NonConstantBound);
     };
     let Some(end_const) = end.as_const() else {
@@ -99,7 +111,11 @@ pub fn unroll_loop_fully(function: &mut Function, loop_node: NodeId) -> Result<R
         .regions
         .iter()
         .find_map(|(region_id, region)| {
-            region.nodes.iter().position(|&n| n == loop_node).map(|idx| (region_id, idx))
+            region
+                .nodes
+                .iter()
+                .position(|&n| n == loop_node)
+                .map(|idx| (region_id, idx))
         })
         .ok_or(UnrollError::NotALoop)?;
     let (parent_region, position) = parent;
@@ -114,7 +130,8 @@ pub fn unroll_loop_fully(function: &mut Function, loop_node: NodeId) -> Result<R
             format!("{}_{}", function.vars[index].name, k + 1),
             index_ty,
         ));
-        let init_block = function.add_block(format!("unroll_{}_{}", function.vars[index].name, k + 1));
+        let init_block =
+            function.add_block(format!("unroll_{}_{}", function.vars[index].name, k + 1));
         function.push_op(
             init_block,
             OpKind::Copy,
@@ -222,7 +239,11 @@ mod tests {
         b.array_write(r1, Value::Var(i), Value::Var(u));
         // r2[i] = r1[i] * 2       (Op2)
         b.array_read(v, r1, Value::Var(i));
-        let d = b.compute(OpKind::Mul, Type::Bits(32), vec![Value::Var(v), Value::word(2)]);
+        let d = b.compute(
+            OpKind::Mul,
+            Type::Bits(32),
+            vec![Value::Var(v), Value::word(2)],
+        );
         b.array_write(r2, Value::Var(i), Value::Var(d));
         b.loop_end();
         b.finish()
@@ -260,7 +281,10 @@ mod tests {
         for op in f.live_ops() {
             for used in f.ops[op].uses() {
                 let name = &f.vars[used].name;
-                assert!(!name.starts_with("i_"), "index variable `{name}` still read");
+                assert!(
+                    !name.starts_with("i_"),
+                    "index variable `{name}` still read"
+                );
             }
         }
     }

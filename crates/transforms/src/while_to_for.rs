@@ -47,8 +47,7 @@ struct CursorPattern {
 /// untouched and noted in the report.
 pub fn while_to_for(function: &mut Function) -> Report {
     let mut report = Report::new("while-to-for", &function.name);
-    loop {
-        let Some(pattern) = find_pattern(function) else { break };
+    while let Some(pattern) = find_pattern(function) {
         rewrite(function, &pattern);
         report.add(1);
         report.note(format!(
@@ -65,7 +64,9 @@ pub fn while_to_for(function: &mut Function) -> Report {
 fn find_pattern(function: &Function) -> Option<CursorPattern> {
     for (node_id, node) in function.nodes.iter() {
         let HtgNode::Loop(l) = node else { continue };
-        let LoopKind::While { cond } = &l.kind else { continue };
+        let LoopKind::While { cond } = &l.kind else {
+            continue;
+        };
         // Must be an (effectively) infinite loop with a designer bound.
         let infinite = match cond {
             Value::Const(c) => c.as_bool(),
@@ -84,15 +85,19 @@ fn find_pattern(function: &Function) -> Option<CursorPattern> {
                 continue;
             }
             let Some(dest) = op.dest else { continue };
-            let reads_self = op.args.iter().any(|&a| a == Value::Var(dest));
+            let reads_self = op.args.contains(&Value::Var(dest));
             if !reads_self {
                 continue;
             }
-            let used_elsewhere = body_ops.iter().any(|&other| {
-                other != op_id && function.ops[other].uses().contains(&dest)
-            });
+            let used_elsewhere = body_ops
+                .iter()
+                .any(|&other| other != op_id && function.ops[other].uses().contains(&dest));
             if used_elsewhere {
-                return Some(CursorPattern { loop_node: node_id, cursor: dest, bound });
+                return Some(CursorPattern {
+                    loop_node: node_id,
+                    cursor: dest,
+                    bound,
+                });
             }
         }
     }
@@ -106,7 +111,8 @@ fn is_reachable(function: &Function, node: NodeId) -> bool {
                 || match &function.nodes[n] {
                     HtgNode::Block(_) => false,
                     HtgNode::If(i) => {
-                        walk(function, i.then_region, target) || walk(function, i.else_region, target)
+                        walk(function, i.then_region, target)
+                            || walk(function, i.else_region, target)
                     }
                     HtgNode::Loop(l) => walk(function, l.body, target),
                 }
@@ -156,7 +162,12 @@ fn rewrite(function: &mut Function, pattern: &CursorPattern) {
     function.region_push(for_body, if_node);
     let start = spark_ir::Constant::new(1, cursor_ty);
     let for_node = function.add_loop_node(
-        LoopKind::For { index, start, end: Value::Const(spark_ir::Constant::new(pattern.bound, cursor_ty)), step: 1 },
+        LoopKind::For {
+            index,
+            start,
+            end: Value::Const(spark_ir::Constant::new(pattern.bound, cursor_ty)),
+            step: 1,
+        },
         for_body,
         Some(pattern.bound),
     );
@@ -192,7 +203,11 @@ mod tests {
         b.while_begin(Value::bool(true), Some(n));
         b.array_write(mark, Value::Var(cursor), Value::bool(true));
         b.array_read(len, len_in, Value::Var(cursor));
-        b.assign(OpKind::Add, cursor, vec![Value::Var(cursor), Value::Var(len)]);
+        b.assign(
+            OpKind::Add,
+            cursor,
+            vec![Value::Var(cursor), Value::Var(len)],
+        );
         b.loop_end();
         b.finish()
     }
@@ -213,9 +228,9 @@ mod tests {
         verify(&converted).expect("well formed after conversion");
         assert_eq!(converted.loop_count(), 1);
         // It is now a for loop, not a while loop.
-        let is_for = converted.nodes.iter().any(|(_, node)| {
-            matches!(node, HtgNode::Loop(l) if matches!(l.kind, LoopKind::For { .. }))
-        });
+        let is_for = converted.nodes.iter().any(
+            |(_, node)| matches!(node, HtgNode::Loop(l) if matches!(l.kind, LoopKind::For { .. })),
+        );
         assert!(is_for);
 
         let mut p0 = Program::new();

@@ -1,0 +1,172 @@
+//! Minimal offline stand-in for the `criterion` benchmarking crate.
+//!
+//! Provides the API surface `benches/experiments.rs` uses — benchmark
+//! groups, parameterised ids, `Bencher::iter` — backed by a simple
+//! wall-clock harness: each benchmark is warmed up, then timed over an
+//! iteration count calibrated to a fixed measurement window, and the mean
+//! per-iteration time is printed. No statistics, plots or comparisons.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box`, matching `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter, `"name/param"`.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Builds an id from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Passed to benchmark closures; `iter` runs and times the routine.
+pub struct Bencher<'a> {
+    /// Mean per-iteration duration, recorded for the group to report.
+    elapsed: &'a mut Duration,
+    measurement_window: Duration,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, storing the mean per-iteration duration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and calibration: run until 10 ms or 5 iterations, whichever
+        // comes later in information terms, to pick an iteration count.
+        let calibration_start = Instant::now();
+        let mut calibration_iters = 0u64;
+        while calibration_iters < 5 || calibration_start.elapsed() < Duration::from_millis(10) {
+            std_black_box(routine());
+            calibration_iters += 1;
+            if calibration_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = calibration_start.elapsed() / calibration_iters as u32;
+        let iters = (self.measurement_window.as_nanos() / per_iter.as_nanos().max(1))
+            .clamp(5, 1_000_000) as u64;
+
+        let start = Instant::now();
+        for _ in 0..iters {
+            std_black_box(routine());
+        }
+        *self.elapsed = start.elapsed() / iters as u32;
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub calibrates by time instead.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let mut elapsed = Duration::ZERO;
+        let mut bencher = Bencher {
+            elapsed: &mut elapsed,
+            measurement_window: Duration::from_millis(100),
+        };
+        f(&mut bencher, input);
+        println!("{}/{:<24} {:>12.3?}/iter", self.name, id.label, elapsed);
+        self
+    }
+
+    /// Runs one benchmark identified by name alone.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let mut elapsed = Duration::ZERO;
+        let mut bencher = Bencher {
+            elapsed: &mut elapsed,
+            measurement_window: Duration::from_millis(100),
+        };
+        f(&mut bencher);
+        println!("{}/{:<24} {:>12.3?}/iter", self.name, id, elapsed);
+        self
+    }
+
+    /// Ends the group. (The stub reports as it goes; this is a no-op.)
+    pub fn finish(self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== group: {name}");
+        BenchmarkGroup {
+            name,
+            _criterion: self,
+        }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let mut group = self.benchmark_group(id.to_string());
+        group.bench_function("default", f);
+        self
+    }
+}
+
+/// Declares a benchmark group function, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($bench_fn:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $bench_fn(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,213 @@
+//! Minimal offline stand-in for the `proptest` crate.
+//!
+//! Supports the subset used by this workspace's property tests: the
+//! [`proptest!`] macro over functions whose arguments are drawn from
+//! strategies (`arg in strategy`), integer-range strategies, [`any`],
+//! [`collection::vec`], [`bool::ANY`], and panic-based [`prop_assert!`] /
+//! [`prop_assert_eq!`]. Cases are generated from a deterministic seeded
+//! generator; there is no shrinking — a failing case panics with the
+//! values visible via the assertion message.
+
+#![warn(missing_docs)]
+
+#[doc(hidden)]
+pub use rand as __rand;
+
+pub mod strategy {
+    //! The [`Strategy`] trait and the strategies this workspace uses.
+
+    use core::ops::Range;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of value this strategy generates.
+        type Value;
+        /// Generates one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize);
+
+    /// Strategy drawing uniformly from a type's full domain; built by [`any`].
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Any<T> {
+        pub(crate) marker: core::marker::PhantomData<T>,
+    }
+
+    /// Types with a canonical full-domain strategy (mirrors `Arbitrary`).
+    pub trait Arbitrary: Sized {
+        /// Generates one arbitrary value.
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut StdRng) -> Self {
+                    rng.gen()
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut StdRng) -> Self {
+            rng.gen::<u64>() & 1 == 1
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Returns the full-domain strategy for `T`, mirroring `proptest::arbitrary::any`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any {
+            marker: core::marker::PhantomData,
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+
+    /// Strategy generating `Vec`s of a fixed length; built by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        len: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            (0..self.len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Generates `Vec`s of exactly `len` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, len: usize) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+}
+
+pub mod bool {
+    //! Boolean strategies.
+
+    use super::strategy::Any;
+
+    /// The uniform boolean strategy, mirroring `proptest::bool::ANY`.
+    pub const ANY: Any<bool> = Any::<bool> {
+        marker: core::marker::PhantomData,
+    };
+}
+
+pub mod test_runner {
+    //! Test-run configuration, mirroring `proptest::test_runner`.
+
+    /// How many cases each property runs, mirroring `ProptestConfig`.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+}
+
+pub mod prelude {
+    //! The usual `use proptest::prelude::*;` surface.
+
+    pub use crate::strategy::{any, Any, Arbitrary, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Panic-based stand-in for `prop_assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => {
+        assert!($($args)*)
+    };
+}
+
+/// Panic-based stand-in for `prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => {
+        assert_eq!($($args)*)
+    };
+}
+
+/// Panic-based stand-in for `prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => {
+        assert_ne!($($args)*)
+    };
+}
+
+/// Declares property tests whose arguments are drawn from strategies.
+///
+/// Supports an optional leading `#![proptest_config(expr)]`, then any number
+/// of `fn name(arg in strategy, ...) { body }` items carrying attributes
+/// (including `#[test]`).
+#[macro_export]
+macro_rules! proptest {
+    (@impl $cfg:expr; $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                // Deterministic per-property seed so failures reproduce.
+                let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+                for byte in stringify!($name).bytes() {
+                    hash = (hash ^ byte as u64).wrapping_mul(0x1000_0000_01b3);
+                }
+                let mut rng =
+                    <$crate::__rand::rngs::StdRng as $crate::__rand::SeedableRng>::seed_from_u64(hash);
+                for _case in 0..config.cases {
+                    $( let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng); )+
+                    $body
+                }
+            }
+        )*
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl $cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ::core::default::Default::default(); $($rest)*);
+    };
+}

@@ -1,0 +1,140 @@
+//! Minimal offline stand-in for the `rand` crate.
+//!
+//! Implements only the API surface this workspace uses: [`rngs::StdRng`]
+//! seeded via [`SeedableRng::seed_from_u64`], and [`Rng::gen`] /
+//! [`Rng::gen_range`] for the integer types the workload generators draw.
+//! The generator is SplitMix64 — deterministic per seed, statistically fine
+//! for test-workload generation, **not** cryptographically secure.
+
+#![warn(missing_docs)]
+
+use core::ops::Range;
+
+/// Types that can be drawn uniformly from the full value domain or a range.
+pub trait Uniform: Copy {
+    /// Draws a value of `Self` from a raw 64-bit sample.
+    fn from_u64(raw: u64) -> Self;
+    /// Widens to `u64` for range arithmetic.
+    fn to_u64(self) -> u64;
+    /// Narrows from `u64` after range arithmetic.
+    fn from_offset(raw: u64) -> Self;
+}
+
+macro_rules! impl_uniform {
+    ($($t:ty),*) => {$(
+        impl Uniform for $t {
+            fn from_u64(raw: u64) -> Self {
+                raw as $t
+            }
+            fn to_u64(self) -> u64 {
+                self as u64
+            }
+            fn from_offset(raw: u64) -> Self {
+                raw as $t
+            }
+        }
+    )*};
+}
+
+// Unsigned only: the cast-based range arithmetic below is wrong for signed
+// bounds, so signed use must fail at compile time rather than panic at run
+// time. Extend with care if a signed draw is ever needed.
+impl_uniform!(u8, u16, u32, u64, usize);
+
+/// The subset of `rand::Rng` used by this workspace.
+pub trait Rng {
+    /// Returns the next raw 64-bit sample.
+    fn next_u64(&mut self) -> u64;
+
+    /// Draws a uniformly random value over `T`'s full domain.
+    fn gen<T: Uniform>(&mut self) -> T {
+        T::from_u64(self.next_u64())
+    }
+
+    /// Draws a uniformly random value in `[range.start, range.end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T: Uniform>(&mut self, range: Range<T>) -> T {
+        let lo = range.start.to_u64();
+        let hi = range.end.to_u64();
+        assert!(lo < hi, "gen_range called with an empty range");
+        let span = hi - lo;
+        // Modulo bias is negligible for the tiny spans used here.
+        T::from_offset(lo + self.next_u64() % span)
+    }
+}
+
+/// The subset of `rand::SeedableRng` used by this workspace.
+pub trait SeedableRng: Sized {
+    /// Constructs a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic SplitMix64 generator standing in for `rand::rngs::StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea, Flood 2014): passes BigCrush, one
+            // add + two xor-shift-multiplies per draw.
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v: u8 = rng.gen_range(0..3);
+            assert!(v < 3);
+        }
+    }
+
+    #[test]
+    fn gen_covers_u8_domain_reasonably() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 256];
+        for _ in 0..10_000 {
+            let v: u8 = rng.gen();
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().filter(|s| **s).count() > 250);
+    }
+}
