@@ -1,0 +1,61 @@
+//! Emits `BENCH_synthesize.json`: full-synthesis wall-times per ILD size and
+//! flow mode.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_synthesize [--sizes 8,16,32] [--iters 5] [--out BENCH_synthesize.json]
+//! ```
+//!
+//! With no `--out` the JSON goes to stdout only. CI runs the smoke sizes and
+//! uploads the file as a workflow artifact; the repository root carries a
+//! committed run from the full sizes so the perf trajectory is reviewable
+//! diff by diff.
+
+use spark_bench::perf::{bench_json, measure_synthesize};
+
+fn parse_args() -> (Vec<u32>, u32, Option<String>) {
+    let mut sizes = vec![8u32, 16, 32];
+    let mut iters = 5u32;
+    let mut out = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--sizes" => {
+                let value = args.next().expect("--sizes needs a comma-separated list");
+                sizes = value
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("size must be an integer"))
+                    .collect();
+            }
+            "--iters" => {
+                iters = args
+                    .next()
+                    .expect("--iters needs a count")
+                    .parse()
+                    .expect("iteration count must be an integer");
+            }
+            "--out" => {
+                out = Some(args.next().expect("--out needs a path"));
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!("usage: bench_synthesize [--sizes 8,16,32] [--iters 5] [--out FILE]");
+                std::process::exit(2);
+            }
+        }
+    }
+    (sizes, iters, out)
+}
+
+fn main() {
+    let (sizes, iters, out) = parse_args();
+    eprintln!("measuring synthesize over sizes {sizes:?} ({iters} iters per point)...");
+    let records = measure_synthesize(&sizes, iters);
+    let json = bench_json(&records);
+    print!("{json}");
+    if let Some(path) = out {
+        std::fs::write(&path, &json).expect("write benchmark JSON");
+        eprintln!("wrote {path}");
+    }
+}

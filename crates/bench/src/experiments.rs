@@ -5,12 +5,16 @@
 //! `tests/reproduce_smoke.rs` — and not only by manual runs. The binary
 //! calls [`run_all`] with [`ReproduceOptions::paper`]; the smoke test uses
 //! [`ReproduceOptions::smoke`], the same code path on the smallest ILD.
+//!
+//! Every per-size sweep fans its points out over worker threads with
+//! [`spark_core::par_map`] and prints the collected results in input order,
+//! so the tables are byte-identical to the serial driver's output.
 
 use crate::{
     figure2_loop, figure2_unrolled_schedule, figure4_fragment, synthesize_ild_baseline,
     synthesize_ild_natural, synthesize_ild_spark, ILD_SIZES, SINGLE_CYCLE_CLOCK_NS,
 };
-use spark_core::{ablation_study, format_table};
+use spark_core::{ablation_study, format_table, par_map};
 use spark_ild::{build_ild_program, ILD_FUNCTION};
 use spark_sched::{schedule, Constraints, DependenceGraph, ResourceLibrary};
 
@@ -63,21 +67,18 @@ fn experiment_e1(opts: &ReproduceOptions) {
         "{:<6} {:>14} {:>16} {:>18}",
         "N", "states before", "states after", "ops after unroll"
     );
-    for &n in &opts.sizes {
+    let rows = par_map(&opts.sizes, |&n| {
         let n = n as u64;
-        let before = "loop (unschedulable)";
         let sched = figure2_unrolled_schedule(n);
         let mut unrolled = figure2_loop(n);
         spark_transforms::unroll_all_loops(&mut unrolled);
         spark_transforms::constant_propagation(&mut unrolled);
         spark_transforms::dead_code_elimination(&mut unrolled);
-        println!(
-            "{:<6} {:>14} {:>16} {:>18}",
-            n,
-            before,
-            sched.num_states,
-            unrolled.live_op_count()
-        );
+        (n, sched.num_states, unrolled.live_op_count())
+    });
+    for (n, states_after, ops_after) in rows {
+        let before = "loop (unschedulable)";
+        println!("{n:<6} {before:>14} {states_after:>16} {ops_after:>18}");
     }
     println!();
 }
@@ -152,17 +153,17 @@ fn experiment_e5_to_e8(opts: &ReproduceOptions) {
         "{:<6} {:>8} {:>10} {:>14} {:>8} {:>8} {:>10}",
         "n", "states", "ops", "crit.path ns", "FUs", "regs", "area"
     );
-    for &n in &opts.sizes {
-        let r = synthesize_ild_spark(n);
+    let reports = par_map(&opts.sizes, |&n| synthesize_ild_spark(n).report);
+    for (&n, r) in opts.sizes.iter().zip(&reports) {
         println!(
             "{:<6} {:>8} {:>10} {:>14.2} {:>8} {:>8} {:>10.0}",
             n,
-            r.report.states,
-            r.report.operations,
-            r.report.critical_path_ns,
-            r.report.total_functional_units(),
-            r.report.registers,
-            r.report.area_estimate
+            r.states,
+            r.operations,
+            r.critical_path_ns,
+            r.total_functional_units(),
+            r.registers,
+            r.area_estimate
         );
     }
     println!();
@@ -175,18 +176,22 @@ fn experiment_e9(opts: &ReproduceOptions) {
         "{:<6} {:>12} {:>12} {:>14} {:>14} {:>12} {:>12}",
         "n", "spark states", "base states", "spark area", "base area", "spark FUs", "base FUs"
     );
-    for &n in &opts.sizes {
-        let spark = synthesize_ild_spark(n);
-        let baseline = synthesize_ild_baseline(n);
+    let rows = par_map(&opts.sizes, |&n| {
+        (
+            synthesize_ild_spark(n).report,
+            synthesize_ild_baseline(n).report,
+        )
+    });
+    for (&n, (spark, baseline)) in opts.sizes.iter().zip(&rows) {
         println!(
             "{:<6} {:>12} {:>12} {:>14.0} {:>14.0} {:>12} {:>12}",
             n,
-            spark.report.states,
-            baseline.report.states,
-            spark.report.area_estimate,
-            baseline.report.area_estimate,
-            spark.report.total_functional_units(),
-            baseline.report.total_functional_units()
+            spark.states,
+            baseline.states,
+            spark.area_estimate,
+            baseline.area_estimate,
+            spark.total_functional_units(),
+            baseline.total_functional_units()
         );
     }
     println!();
@@ -200,15 +205,16 @@ fn experiment_e10(opts: &ReproduceOptions) {
         "{:<6} {:>8} {:>14} {:>12}",
         "n", "states", "crit.path ns", "single cycle"
     );
-    for &n in &opts.natural_sizes {
+    let rows = par_map(&opts.natural_sizes, |&n| {
         let r = synthesize_ild_natural(n);
-        println!(
-            "{:<6} {:>8} {:>14.2} {:>12}",
-            n,
+        (
             r.report.states,
             r.report.critical_path_ns,
-            r.is_single_cycle()
-        );
+            r.is_single_cycle(),
+        )
+    });
+    for (&n, &(states, crit, single)) in opts.natural_sizes.iter().zip(&rows) {
+        println!("{n:<6} {states:>8} {crit:>14.2} {single:>12}");
     }
     println!();
 }

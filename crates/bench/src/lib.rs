@@ -12,6 +12,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod perf;
 
 use spark_core::{synthesize, FlowOptions, SynthesisResult};
 use spark_ild::{build_ild_natural_program, build_ild_program, ILD_FUNCTION, ILD_NATURAL_FUNCTION};

@@ -1,0 +1,114 @@
+//! Wall-time measurement of the `synthesize` hot path and the
+//! `BENCH_synthesize.json` emitter.
+//!
+//! The committed `BENCH_synthesize.json` at the repository root records the
+//! per-size, per-flow-mode wall-times of full synthesis, so the performance
+//! trajectory of the reproduction is tracked PR over PR; CI regenerates the
+//! file on smoke sizes and uploads it as a workflow artifact. The JSON is
+//! emitted by hand — the build image has no registry access, so no serde.
+
+use std::time::Instant;
+
+use crate::{synthesize_ild_baseline, synthesize_ild_natural, synthesize_ild_spark};
+
+/// One measured benchmark point.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchRecord {
+    /// Flow mode (`"coordinated"`, `"baseline"` or `"natural"`).
+    pub mode: &'static str,
+    /// ILD buffer size.
+    pub n: u32,
+    /// Mean wall-time of one full synthesis run, milliseconds.
+    pub mean_ms: f64,
+    /// Iterations averaged over (after one warm-up run).
+    pub iters: u32,
+}
+
+/// A full-synthesis entry point parameterised by ILD buffer size.
+type SynthFn = fn(u32) -> spark_core::SynthesisResult;
+
+/// The flow modes measured per size, with their synthesis entry points.
+const MODES: [(&str, SynthFn); 3] = [
+    ("coordinated", synthesize_ild_spark),
+    ("baseline", synthesize_ild_baseline),
+    ("natural", synthesize_ild_natural),
+];
+
+/// Measures full synthesis wall-time for every `(mode, n)` combination,
+/// averaging `iters` timed runs after one warm-up run per point.
+pub fn measure_synthesize(sizes: &[u32], iters: u32) -> Vec<BenchRecord> {
+    let iters = iters.max(1);
+    let mut records = Vec::new();
+    for &(mode, synth) in &MODES {
+        for &n in sizes {
+            std::hint::black_box(synth(n)); // warm-up
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(synth(n));
+            }
+            let mean_ms = start.elapsed().as_secs_f64() * 1e3 / f64::from(iters);
+            records.push(BenchRecord {
+                mode,
+                n,
+                mean_ms,
+                iters,
+            });
+        }
+    }
+    records
+}
+
+/// Renders measurement records as the `BENCH_synthesize.json` document.
+pub fn bench_json(records: &[BenchRecord]) -> String {
+    let mut out = String::from(
+        "{\n  \"benchmark\": \"synthesize\",\n  \"unit\": \"ms\",\n  \"results\": [\n",
+    );
+    for (index, record) in records.iter().enumerate() {
+        let comma = if index + 1 < records.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"n\": {}, \"mean_ms\": {:.3}, \"iters\": {}}}{comma}\n",
+            record.mode, record.n, record.mean_ms, record.iters
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measurement_covers_every_mode_and_size() {
+        let records = measure_synthesize(&[4], 1);
+        assert_eq!(records.len(), 3);
+        assert!(records.iter().all(|r| r.n == 4 && r.mean_ms > 0.0));
+        let modes: Vec<&str> = records.iter().map(|r| r.mode).collect();
+        assert_eq!(modes, vec!["coordinated", "baseline", "natural"]);
+    }
+
+    #[test]
+    fn json_is_well_formed() {
+        let records = vec![
+            BenchRecord {
+                mode: "coordinated",
+                n: 8,
+                mean_ms: 1.5,
+                iters: 3,
+            },
+            BenchRecord {
+                mode: "baseline",
+                n: 8,
+                mean_ms: 2.25,
+                iters: 3,
+            },
+        ];
+        let json = bench_json(&records);
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        assert!(json.contains("\"benchmark\": \"synthesize\""));
+        assert!(json.contains("\"mode\": \"coordinated\", \"n\": 8, \"mean_ms\": 1.500"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        // Exactly one separating comma between the two records.
+        assert_eq!(json.matches("},\n").count(), 1);
+    }
+}

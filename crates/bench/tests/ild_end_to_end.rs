@@ -147,6 +147,121 @@ fn generated_vhdl_describes_the_single_cycle_architecture() {
     assert!(!vhdl.contains("when 1 =>"));
 }
 
+/// FNV-1a over a canonical dump of the schedule, binding and datapath report.
+fn fnv64(bytes: impl Iterator<Item = u8>) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        hash = (hash ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Canonical fingerprint of everything scheduling and binding decided: per-op
+/// control step, start/finish times and FU instance, the register assignment,
+/// the FU packing and the rendered datapath report.
+fn synthesis_fingerprint(result: &spark_core::SynthesisResult) -> u64 {
+    use spark_sched::FuClass;
+    let mut text = String::new();
+    for op in result.function.live_ops() {
+        let state = result
+            .schedule
+            .op_state
+            .get(&op)
+            .copied()
+            .unwrap_or(usize::MAX);
+        let start = result.schedule.op_start.get(&op).copied().unwrap_or(-1.0);
+        let finish = result.schedule.op_finish.get(&op).copied().unwrap_or(-1.0);
+        let instance = result
+            .schedule
+            .op_instance
+            .get(&op)
+            .copied()
+            .unwrap_or(usize::MAX);
+        text.push_str(&format!(
+            "op{}:{state}:{start:.3}:{finish:.3}:{instance}\n",
+            op.raw()
+        ));
+    }
+    for (var_id, _) in result.function.vars.iter() {
+        if let Some(&reg) = result.binding.register_of.get(&var_id) {
+            text.push_str(&format!("reg v{}:{reg}\n", var_id.raw()));
+        }
+    }
+    for class in FuClass::ALL {
+        if let Some(instances) = result.binding.fu_instances.get(&class) {
+            for (i, fu) in instances.iter().enumerate() {
+                let ops: Vec<String> = fu.ops.iter().map(|o| o.raw().to_string()).collect();
+                text.push_str(&format!("fu {class}/{i}: {}\n", ops.join(",")));
+            }
+        }
+    }
+    text.push_str(&result.report.to_string());
+    fnv64(text.bytes())
+}
+
+/// The dense-map scheduler must keep producing byte-identical schedules,
+/// bindings and `DatapathReport`s to the seed (BTreeMap-based) implementation.
+/// The constants below were captured from the seed build of this repository
+/// on the ILD suite; any behavioural drift in scheduling, binding or
+/// reporting shows up as a fingerprint mismatch.
+#[test]
+fn dense_map_scheduler_is_byte_identical_to_seed_behavior() {
+    let golden: [(u32, u64, u64); 3] = [
+        (4, 0x73de636006e5f576, 0xbce74b12e9252c2e),
+        (8, 0x79d06c3a6a4aba09, 0x1968396cdcefea81),
+        (16, 0xb582675d4c3be87f, 0xa1675c0cae1c494d),
+    ];
+    for (n, spark_expected, baseline_expected) in golden {
+        let program = build_ild_program(n);
+        let spark = synthesize(
+            &program,
+            ILD_FUNCTION,
+            &FlowOptions::microprocessor_block(2000.0),
+        )
+        .expect("coordinated synthesis succeeds");
+        assert_eq!(
+            synthesis_fingerprint(&spark),
+            spark_expected,
+            "coordinated flow drifted from seed behavior at n={n}"
+        );
+        let baseline = synthesize(&program, ILD_FUNCTION, &FlowOptions::asic_baseline(20.0))
+            .expect("baseline synthesis succeeds");
+        assert_eq!(
+            synthesis_fingerprint(&baseline),
+            baseline_expected,
+            "baseline flow drifted from seed behavior at n={n}"
+        );
+    }
+}
+
+/// The parallel clock sweep must return points in input order with the same
+/// reports the serial per-point flow produces.
+#[test]
+fn parallel_sweep_matches_serial_synthesis_point_by_point() {
+    let n = 8u32;
+    let program = build_ild_program(n);
+    let periods = [0.1f64, 20.0, 100.0, 500.0, 2000.0];
+    let points =
+        spark_core::sweep_clock_period(&program, ILD_FUNCTION, &periods).expect("sweep runs");
+    assert_eq!(points.len(), periods.len());
+    for (&period, point) in periods.iter().zip(&points) {
+        assert_eq!(point.clock_period_ns, period, "points stay in input order");
+        let serial = synthesize(
+            &program,
+            ILD_FUNCTION,
+            &FlowOptions::microprocessor_block(period),
+        );
+        match serial {
+            Ok(result) => assert_eq!(
+                point.report.as_ref(),
+                Some(&result.report),
+                "sweep report differs from serial synthesis at {period} ns"
+            ),
+            Err(_) => assert!(point.report.is_none(), "infeasible point at {period} ns"),
+        }
+    }
+}
+
 #[test]
 fn instruction_density_extremes_are_reflected_in_the_marks() {
     let n = 22usize;

@@ -122,4 +122,40 @@ proptest! {
         let len = spark_ild::encoding::calculate_length(b1, b2, b3, b4);
         prop_assert!((1..=spark_ild::encoding::MAX_INSTRUCTION_LENGTH).contains(&len));
     }
+
+    /// `SecondaryMap` round-trips an arbitrary insert/remove script against a
+    /// `BTreeMap` model: same final contents, same `get` answers, same
+    /// key-ordered iteration.
+    #[test]
+    fn secondary_map_matches_btreemap_model(
+        keys in proptest::collection::vec(0usize..48, 64),
+        values in proptest::collection::vec(any::<u64>(), 64),
+        removes in proptest::collection::vec(proptest::bool::ANY, 64),
+    ) {
+        use std::collections::BTreeMap;
+        use spark_ir::{Id, SecondaryMap};
+        type Key = Id<u8>;
+
+        let mut dense: SecondaryMap<Key, u64> = SecondaryMap::new();
+        let mut model: BTreeMap<Key, u64> = BTreeMap::new();
+        for ((&raw, &value), &remove) in keys.iter().zip(&values).zip(&removes) {
+            let key = Key::from_raw(raw as u32);
+            if remove {
+                prop_assert_eq!(dense.remove(&key), model.remove(&key));
+            } else {
+                prop_assert_eq!(dense.insert(key, value), model.insert(key, value));
+            }
+            prop_assert_eq!(dense.len(), model.len());
+        }
+        for raw in 0..64u32 {
+            let key = Key::from_raw(raw);
+            prop_assert_eq!(dense.get(&key), model.get(&key));
+            prop_assert_eq!(dense.contains_key(&key), model.contains_key(&key));
+        }
+        let dense_pairs: Vec<(Key, u64)> = dense.iter().map(|(k, &v)| (k, v)).collect();
+        let model_pairs: Vec<(Key, u64)> = model.iter().map(|(&k, &v)| (k, v)).collect();
+        prop_assert_eq!(dense_pairs, model_pairs, "iteration order and contents agree");
+        let rebuilt: SecondaryMap<Key, u64> = model.iter().map(|(&k, &v)| (k, v)).collect();
+        prop_assert_eq!(rebuilt, dense);
+    }
 }

@@ -8,9 +8,7 @@
 //! accounted for explicitly, since "mapping an operation to a resource can
 //! lead to the generation of additional steering logic".
 
-use std::collections::BTreeMap;
-
-use spark_ir::{Function, OpId, PortDirection, VarId};
+use spark_ir::{Function, OpId, PortDirection, SecondaryMap, VarId};
 use spark_sched::{FuClass, ResourceLibrary, Schedule};
 
 use crate::lifetime::LifetimeAnalysis;
@@ -39,9 +37,9 @@ pub struct Binding {
     /// Physical registers after left-edge packing.
     pub registers: Vec<PhysicalRegister>,
     /// Register index per registered variable.
-    pub register_of: BTreeMap<VarId, usize>,
+    pub register_of: SecondaryMap<VarId, usize>,
     /// Functional-unit instances per class.
-    pub fu_instances: BTreeMap<FuClass, Vec<FuInstance>>,
+    pub fu_instances: SecondaryMap<FuClass, Vec<FuInstance>>,
     /// Number of two-input multiplexers needed for operand steering.
     pub steering_muxes: usize,
     /// Estimated datapath area (gate-equivalents).
@@ -60,7 +58,7 @@ impl Binding {
 
         // ---- Register binding: left-edge over lifetimes.
         let mut intervals: Vec<(VarId, crate::lifetime::Lifetime)> =
-            lifetimes.registered.iter().map(|(&v, &l)| (v, l)).collect();
+            lifetimes.registered.iter().map(|(v, &l)| (v, l)).collect();
         intervals.sort_by_key(|(v, l)| (l.first_def, l.last_use, *v));
         // Primary outputs keep dedicated registers (they are architectural
         // state visible at the ports); everything else may share.
@@ -100,7 +98,7 @@ impl Binding {
             if class.is_free() || library.op_area(&op.kind, &op.args) == 0.0 {
                 continue;
             }
-            let instances = binding.fu_instances.entry(class).or_default();
+            let instances = binding.fu_instances.get_or_insert_with(class, Vec::new);
             while instances.len() <= instance {
                 instances.push(FuInstance {
                     class: Some(class),
@@ -122,7 +120,7 @@ impl Binding {
         // ---- Area estimate: units + registers + steering.
         let mut area = 0.0;
         for (class, instances) in &binding.fu_instances {
-            area += library.spec(*class).area
+            area += library.spec(class).area
                 * instances.iter().filter(|i| !i.ops.is_empty()).count() as f64;
         }
         for register in &binding.registers {

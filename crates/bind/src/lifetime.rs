@@ -8,9 +8,7 @@
 //! across a state boundary or holds an architectural result (a primary
 //! output); wire-variables never get registers.
 
-use std::collections::BTreeMap;
-
-use spark_ir::{Function, PortDirection, VarId};
+use spark_ir::{Function, PortDirection, SecondaryMap, VarId};
 use spark_sched::Schedule;
 
 /// The lifetime of one variable in terms of control steps.
@@ -34,7 +32,7 @@ impl Lifetime {
 #[derive(Clone, Debug, Default)]
 pub struct LifetimeAnalysis {
     /// Variables that must be stored in registers, with their lifetimes.
-    pub registered: BTreeMap<VarId, Lifetime>,
+    pub registered: SecondaryMap<VarId, Lifetime>,
     /// Variables that turn into plain wires (written and consumed within a
     /// single state, or explicitly marked as wire-variables).
     pub wires: Vec<VarId>,
@@ -46,21 +44,22 @@ impl LifetimeAnalysis {
     /// Arrays are excluded: input arrays are ports and output arrays are
     /// per-element registers counted by the datapath generator.
     pub fn compute(function: &Function, schedule: &Schedule) -> Self {
-        let mut first_def: BTreeMap<VarId, usize> = BTreeMap::new();
-        let mut last_def: BTreeMap<VarId, usize> = BTreeMap::new();
-        let mut last_use: BTreeMap<VarId, usize> = BTreeMap::new();
+        let capacity = function.vars.len();
+        let mut first_def: SecondaryMap<VarId, usize> = SecondaryMap::with_capacity(capacity);
+        let mut last_def: SecondaryMap<VarId, usize> = SecondaryMap::with_capacity(capacity);
+        let mut last_use: SecondaryMap<VarId, usize> = SecondaryMap::with_capacity(capacity);
         for op_id in function.live_ops() {
             let Some(&state) = schedule.op_state.get(&op_id) else {
                 continue;
             };
             let op = &function.ops[op_id];
             for used in op.uses() {
-                let entry = last_use.entry(used).or_insert(state);
+                let entry = last_use.get_or_insert_with(used, || state);
                 *entry = (*entry).max(state);
             }
             if let Some(defined) = op.def() {
-                first_def.entry(defined).or_insert(state);
-                let entry = last_def.entry(defined).or_insert(state);
+                first_def.get_or_insert_with(defined, || state);
+                let entry = last_def.get_or_insert_with(defined, || state);
                 *entry = (*entry).max(state);
             }
         }

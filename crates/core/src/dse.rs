@@ -9,7 +9,10 @@
 use spark_ir::Program;
 use spark_rtl::DatapathReport;
 
-use crate::pipeline::{synthesize, FlowOptions, SynthesisError};
+use crate::par::par_map;
+use crate::pipeline::{
+    synthesize, synthesize_transformed, transform_program, FlowOptions, SynthesisError,
+};
 
 /// One point of a design-space sweep.
 #[derive(Clone, Debug)]
@@ -24,28 +27,31 @@ pub struct DesignPoint {
 }
 
 /// Sweeps the clock period with the microprocessor-block flow.
+///
+/// The (clock-agnostic) transformation pipeline runs once; each period point
+/// then schedules the same transformed program, with the points fanned out
+/// over worker threads. Points come back in input order, so the printed
+/// tables are identical to the serial driver's.
 pub fn sweep_clock_period(
     program: &Program,
     top: &str,
     periods_ns: &[f64],
 ) -> Result<Vec<DesignPoint>, SynthesisError> {
-    let mut points = Vec::new();
-    for &period in periods_ns {
+    // The transformation switches do not depend on the period, so any period
+    // yields the same transformed program; scheduling gets the real one.
+    let transformed = transform_program(program, top, &FlowOptions::microprocessor_block(1.0))?;
+    Ok(par_map(periods_ns, |&period| {
         let options = FlowOptions::microprocessor_block(period);
-        let report = match synthesize(program, top, &options) {
+        let report = match synthesize_transformed(&transformed, &options) {
             Ok(result) => Some(result.report),
-            Err(SynthesisError::UnknownFunction(name)) => {
-                return Err(SynthesisError::UnknownFunction(name))
-            }
-            Err(SynthesisError::Scheduling(_)) => None,
+            Err(_) => None,
         };
-        points.push(DesignPoint {
+        DesignPoint {
             label: format!("clock {period:.1} ns"),
             clock_period_ns: period,
             report,
-        });
-    }
-    Ok(points)
+        }
+    }))
 }
 
 /// The ablation study called out in `DESIGN.md`: the coordinated flow with
@@ -81,19 +87,24 @@ pub fn ablation_study(
         FlowOptions::asic_baseline(clock_period_ns),
     ));
 
-    let mut points = Vec::new();
-    for (label, options) in configurations {
-        let report = match synthesize(program, top, &options) {
-            Ok(result) => Some(result.report),
+    // Each ablation point transforms differently, so every configuration is
+    // an independent unit of parallel work (full synthesize per point).
+    let results = par_map(&configurations, |(label, options)| {
+        let report = match synthesize(program, top, options) {
+            Ok(result) => Ok(Some(result.report)),
             Err(SynthesisError::UnknownFunction(name)) => {
-                return Err(SynthesisError::UnknownFunction(name))
+                Err(SynthesisError::UnknownFunction(name))
             }
-            Err(SynthesisError::Scheduling(_)) => None,
+            Err(SynthesisError::Scheduling(_)) => Ok(None),
         };
+        (label.clone(), report)
+    });
+    let mut points = Vec::new();
+    for (label, report) in results {
         points.push(DesignPoint {
             label,
             clock_period_ns,
-            report,
+            report: report?,
         });
     }
     Ok(points)

@@ -45,9 +45,12 @@
 #![warn(missing_docs)]
 
 mod dse;
+mod par;
 mod pipeline;
 
 pub use dse::{ablation_study, format_table, sweep_clock_period, DesignPoint};
+pub use par::par_map;
 pub use pipeline::{
-    synthesize, FlowMode, FlowOptions, StageSnapshot, SynthesisError, SynthesisResult,
+    synthesize, synthesize_transformed, transform_program, FlowMode, FlowOptions, StageSnapshot,
+    SynthesisError, SynthesisResult, TransformedProgram,
 };

@@ -185,17 +185,38 @@ impl SynthesisResult {
     }
 }
 
-/// Runs the coordinated flow on `program`, synthesizing the function `top`.
+/// A program after the source-level, coarse-grain and fine-grain
+/// transformations, ready for scheduling.
+///
+/// Splitting the flow here lets clock-period sweeps run the (clock-agnostic)
+/// transformation pipeline once and then schedule each period point against
+/// the same transformed program — see
+/// [`sweep_clock_period`](crate::sweep_clock_period).
+#[derive(Clone, Debug)]
+pub struct TransformedProgram {
+    /// The transformed program.
+    pub program: Program,
+    /// Name of the top-level function the transformations targeted.
+    pub top: String,
+    /// Per-pass change log accumulated during transformation.
+    pub pass_log: Vec<xf::Report>,
+    /// Per-stage structural snapshots (Figures 10–15 evolution).
+    pub stages: Vec<StageSnapshot>,
+}
+
+/// Runs the transformation half of the coordinated flow: source-level
+/// rewriting, inlining, speculation, unrolling and the fine-grain clean-up,
+/// under the transformation switches of `options`. The clock period in
+/// `options` is not consulted — transformations are clock-agnostic, which is
+/// what makes the result reusable across a clock sweep.
 ///
 /// # Errors
-/// Returns [`SynthesisError`] when the top function is missing or scheduling
-/// fails under the given constraints.
-pub fn synthesize(
+/// Returns [`SynthesisError::UnknownFunction`] when `top` does not exist.
+pub fn transform_program(
     program: &Program,
     top: &str,
     options: &FlowOptions,
-) -> Result<SynthesisResult, SynthesisError> {
-    let library = ResourceLibrary::new();
+) -> Result<TransformedProgram, SynthesisError> {
     let mut working = program.clone();
     if working.function(top).is_none() {
         return Err(SynthesisError::UnknownFunction(top.to_string()));
@@ -274,6 +295,31 @@ pub fn synthesize(
         snapshot("secondary-code-motions", &working, &mut stages);
     }
 
+    Ok(TransformedProgram {
+        program: working,
+        top: top.to_string(),
+        pass_log,
+        stages,
+    })
+}
+
+/// Runs the back half of the flow — scheduling, chaining validation,
+/// wire-variable insertion, binding and RTL reporting — on an already
+/// transformed program, under the constraints (clock period, mode) of
+/// `options`.
+///
+/// # Errors
+/// Returns [`SynthesisError::Scheduling`] when the constraints cannot be met.
+pub fn synthesize_transformed(
+    transformed: &TransformedProgram,
+    options: &FlowOptions,
+) -> Result<SynthesisResult, SynthesisError> {
+    let library = ResourceLibrary::new();
+    let top = transformed.top.as_str();
+    let pass_log = transformed.pass_log.clone();
+    let mut stages = transformed.stages.clone();
+    let working = &transformed.program;
+
     // ---- Scheduling, chaining, binding, RTL --------------------------------
     let mut function = working.function(top).expect("top exists").clone();
     let graph = DependenceGraph::build(&function)?;
@@ -305,6 +351,24 @@ pub fn synthesize(
         wire_report,
         chaining,
     })
+}
+
+/// Runs the coordinated flow on `program`, synthesizing the function `top`.
+///
+/// Equivalent to [`transform_program`] followed by
+/// [`synthesize_transformed`]; sweeps that vary only the clock period should
+/// call the two halves directly and reuse the transformed program.
+///
+/// # Errors
+/// Returns [`SynthesisError`] when the top function is missing or scheduling
+/// fails under the given constraints.
+pub fn synthesize(
+    program: &Program,
+    top: &str,
+    options: &FlowOptions,
+) -> Result<SynthesisResult, SynthesisError> {
+    let transformed = transform_program(program, top, options)?;
+    synthesize_transformed(&transformed, options)
 }
 
 #[cfg(test)]

@@ -51,6 +51,7 @@ mod arena;
 mod block;
 mod builder;
 mod cfg;
+mod dense;
 mod display;
 mod function;
 mod htg;
@@ -67,6 +68,7 @@ pub use arena::{Arena, Id};
 pub use block::{BasicBlock, BlockId};
 pub use builder::FunctionBuilder;
 pub use cfg::{Cfg, CfgNode, CfgNodeKind};
+pub use dense::{DenseKey, SecondaryMap};
 pub use function::Function;
 pub use htg::{HtgNode, IfNode, LoopKind, LoopNode, NodeId, Region, RegionId};
 pub use interp::{Env, EvalError, Interpreter, Outcome};

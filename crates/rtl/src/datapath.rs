@@ -7,10 +7,8 @@
 //! chained critical path. The *shape* of these numbers across flows (baseline
 //! vs. coordinated transformations) is what the benchmark harness reports.
 
-use std::collections::BTreeMap;
-
 use spark_bind::Binding;
-use spark_ir::{Function, PortDirection, StorageClass};
+use spark_ir::{Function, PortDirection, SecondaryMap, StorageClass};
 use spark_sched::{Controller, FuClass, ResourceLibrary, Schedule};
 
 /// A structural and quantitative summary of a synthesized design.
@@ -25,7 +23,7 @@ pub struct DatapathReport {
     /// Clock period the design was scheduled for (ns).
     pub clock_period_ns: f64,
     /// Functional units per class.
-    pub functional_units: BTreeMap<FuClass, usize>,
+    pub functional_units: SecondaryMap<FuClass, usize>,
     /// Physical registers (after left-edge packing), excluding output arrays.
     pub registers: usize,
     /// Output-array register bits (e.g. the ILD `Mark[]` vector).
@@ -65,7 +63,7 @@ impl DatapathReport {
         for (class, instances) in &binding.fu_instances {
             let used = instances.iter().filter(|i| !i.ops.is_empty()).count();
             if used > 0 {
-                report.functional_units.insert(*class, used);
+                report.functional_units.insert(class, used);
             }
         }
         for (_, var) in function.vars.iter() {

@@ -19,7 +19,7 @@
 
 use std::collections::BTreeMap;
 
-use spark_ir::{Env, Function, OpKind, PortDirection, Type, Value, VarId};
+use spark_ir::{Env, Function, OpKind, PortDirection, SecondaryMap, Type, Value, VarId};
 use spark_sched::{DependenceGraph, Guard, Schedule};
 
 /// Result of one block evaluation (one pass through all FSM states).
@@ -98,9 +98,10 @@ impl<'a> RtlSimulator<'a> {
     /// that have no datapath implementation (calls).
     pub fn run(&self, env: &Env) -> Result<RtlOutcome, RtlSimError> {
         let function = self.function;
-        // Register file and array state.
-        let mut registers: BTreeMap<VarId, u64> = BTreeMap::new();
-        let mut arrays: BTreeMap<VarId, Vec<u64>> = BTreeMap::new();
+        // Register file and array state, in dense per-variable tables.
+        let capacity = function.vars.len();
+        let mut registers: SecondaryMap<VarId, u64> = SecondaryMap::with_capacity(capacity);
+        let mut arrays: SecondaryMap<VarId, Vec<u64>> = SecondaryMap::with_capacity(capacity);
         for (var_id, var) in function.vars.iter() {
             match var.storage {
                 spark_ir::StorageClass::Array { length } => {
@@ -127,7 +128,7 @@ impl<'a> RtlSimulator<'a> {
         for state in 0..num_states {
             let register_snapshot = registers.clone();
             let array_snapshot = arrays.clone();
-            let mut wires: BTreeMap<VarId, u64> = BTreeMap::new();
+            let mut wires: SecondaryMap<VarId, u64> = SecondaryMap::with_capacity(capacity);
             let mut next_registers = registers.clone();
             let mut next_arrays = arrays.clone();
             // Registers already written earlier in this state. Data operands
@@ -135,10 +136,10 @@ impl<'a> RtlSimulator<'a> {
             // Section 3.1.2 is about), but the *controller* taps condition
             // signals combinationally: a branch condition computed in this
             // cycle steers the commits of this same cycle.
-            let mut written_this_state: std::collections::BTreeSet<VarId> =
-                std::collections::BTreeSet::new();
+            let mut written_this_state: SecondaryMap<VarId, ()> =
+                SecondaryMap::with_capacity(capacity);
 
-            let read = |value: Value, wires: &BTreeMap<VarId, u64>| -> u64 {
+            let read = |value: Value, wires: &SecondaryMap<VarId, u64>| -> u64 {
                 match value {
                     Value::Const(c) => c.value(),
                     Value::Var(v) => {
@@ -151,16 +152,16 @@ impl<'a> RtlSimulator<'a> {
                 }
             };
             let read_fresh = |value: Value,
-                              wires: &BTreeMap<VarId, u64>,
-                              next_registers: &BTreeMap<VarId, u64>,
-                              written: &std::collections::BTreeSet<VarId>|
+                              wires: &SecondaryMap<VarId, u64>,
+                              next_registers: &SecondaryMap<VarId, u64>,
+                              written: &SecondaryMap<VarId, ()>|
              -> u64 {
                 match value {
                     Value::Const(c) => c.value(),
                     Value::Var(v) => {
                         if function.vars[v].is_wire() {
                             wires.get(&v).copied().unwrap_or(0)
-                        } else if written.contains(&v) {
+                        } else if written.contains_key(&v) {
                             next_registers.get(&v).copied().unwrap_or(0)
                         } else {
                             register_snapshot.get(&v).copied().unwrap_or(0)
@@ -169,9 +170,9 @@ impl<'a> RtlSimulator<'a> {
                 }
             };
             let guard_holds = |guard: &Guard,
-                               wires: &BTreeMap<VarId, u64>,
-                               next_registers: &BTreeMap<VarId, u64>,
-                               written: &std::collections::BTreeSet<VarId>|
+                               wires: &SecondaryMap<VarId, u64>,
+                               next_registers: &SecondaryMap<VarId, u64>,
+                               written: &SecondaryMap<VarId, ()>|
              -> bool {
                 guard.terms.iter().all(|(cond, polarity)| {
                     (read_fresh(*cond, wires, next_registers, written) != 0) == *polarity
@@ -236,7 +237,7 @@ impl<'a> RtlSimulator<'a> {
                         let index = read(a(0), &wires);
                         let value = read(a(1), &wires) & function.vars[*array].ty.mask();
                         let name = function.vars[*array].name.clone();
-                        let contents = next_arrays.entry(*array).or_default();
+                        let contents = next_arrays.get_or_insert_with(*array, Vec::new);
                         let slot = contents
                             .get_mut(index as usize)
                             .ok_or(RtlSimError::OutOfBounds { array: name, index })?;
@@ -254,7 +255,7 @@ impl<'a> RtlSimulator<'a> {
                         wires.insert(dest, masked);
                     } else {
                         next_registers.insert(dest, masked);
-                        written_this_state.insert(dest);
+                        written_this_state.insert(dest, ());
                     }
                 }
             }

@@ -7,10 +7,11 @@
 //! of every operation, whether two operations are mutually exclusive (and may
 //! therefore share a functional unit in the same cycle), and the data
 //! dependences that chaining must respect.
+//!
+//! All per-operation facts live in dense [`SecondaryMap`]s keyed by the arena
+//! id, so the scheduler's innermost loops pay one array read per lookup.
 
-use std::collections::BTreeMap;
-
-use spark_ir::{Function, HtgNode, OpId, RegionId, Value, VarId};
+use spark_ir::{Function, HtgNode, OpId, RegionId, SecondaryMap, Value, VarId};
 
 /// Why scheduling cannot proceed.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -96,9 +97,9 @@ pub struct DependenceGraph {
     /// Live operations in program order (a valid topological order).
     pub order: Vec<OpId>,
     /// Incoming edges per operation.
-    pub preds: BTreeMap<OpId, Vec<Dependence>>,
+    pub preds: SecondaryMap<OpId, Vec<Dependence>>,
     /// Guard (branch context) per operation.
-    pub guards: BTreeMap<OpId, Guard>,
+    pub guards: SecondaryMap<OpId, Guard>,
 }
 
 impl DependenceGraph {
@@ -116,13 +117,14 @@ impl DependenceGraph {
         collect(function, function.body, &mut guard_stack, &mut graph)?;
 
         // Data dependences by program order.
-        let mut last_defs: BTreeMap<VarId, Vec<OpId>> = BTreeMap::new();
-        let mut last_uses: BTreeMap<VarId, Vec<OpId>> = BTreeMap::new();
-        // Condition variable -> defining ops seen so far (for control edges).
+        let mut last_defs: SecondaryMap<VarId, Vec<OpId>> =
+            SecondaryMap::with_capacity(function.vars.len());
+        let mut last_uses: SecondaryMap<VarId, Vec<OpId>> =
+            SecondaryMap::with_capacity(function.vars.len());
         for index in 0..graph.order.len() {
             let op_id = graph.order[index];
-            let op = function.ops[op_id].clone();
-            let guard = graph.guards[&op_id].clone();
+            let op = &function.ops[op_id];
+            let guard = &graph.guards[&op_id];
             let mut edges = Vec::new();
 
             // Control dependences: the op depends on the producers of every
@@ -143,7 +145,7 @@ impl DependenceGraph {
             // Flow dependences on every operand.
             for used in op.uses() {
                 for &producer in last_defs.get(&used).into_iter().flatten() {
-                    if !graph.guards[&producer].mutually_exclusive(&guard) {
+                    if !graph.guards[&producer].mutually_exclusive(guard) {
                         edges.push(Dependence {
                             from: producer,
                             to: op_id,
@@ -157,7 +159,7 @@ impl DependenceGraph {
             if let Some(defined) = op.def() {
                 // Output dependences on earlier defs, anti dependences on earlier uses.
                 for &producer in last_defs.get(&defined).into_iter().flatten() {
-                    if !graph.guards[&producer].mutually_exclusive(&guard) {
+                    if !graph.guards[&producer].mutually_exclusive(guard) {
                         edges.push(Dependence {
                             from: producer,
                             to: op_id,
@@ -167,7 +169,7 @@ impl DependenceGraph {
                     }
                 }
                 for &reader in last_uses.get(&defined).into_iter().flatten() {
-                    if reader != op_id && !graph.guards[&reader].mutually_exclusive(&guard) {
+                    if reader != op_id && !graph.guards[&reader].mutually_exclusive(guard) {
                         edges.push(Dependence {
                             from: reader,
                             to: op_id,
@@ -180,10 +182,10 @@ impl DependenceGraph {
 
             // Update access history.
             for used in op.uses() {
-                last_uses.entry(used).or_default().push(op_id);
+                last_uses.get_or_insert_with(used, Vec::new).push(op_id);
             }
             if let Some(defined) = op.def() {
-                last_defs.entry(defined).or_default().push(op_id);
+                last_defs.get_or_insert_with(defined, Vec::new).push(op_id);
             }
 
             graph.preds.insert(op_id, edges);
@@ -196,10 +198,19 @@ impl DependenceGraph {
         self.guards.get(&op).cloned().unwrap_or_default()
     }
 
+    /// Borrowed guard of an operation, if it is part of the graph. The
+    /// allocation-free variant of [`DependenceGraph::guard_of`] for hot paths.
+    pub fn guard_ref(&self, op: OpId) -> Option<&Guard> {
+        self.guards.get(&op)
+    }
+
     /// Returns `true` if the two operations can never execute in the same run
     /// (they sit in opposite branches of some condition).
     pub fn mutually_exclusive(&self, a: OpId, b: OpId) -> bool {
-        self.guard_of(a).mutually_exclusive(&self.guard_of(b))
+        match (self.guards.get(&a), self.guards.get(&b)) {
+            (Some(ga), Some(gb)) => ga.mutually_exclusive(gb),
+            _ => false,
+        }
     }
 
     /// Incoming dependences of an operation.

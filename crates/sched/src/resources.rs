@@ -76,6 +76,21 @@ impl FuClass {
     }
 }
 
+/// Functional-unit classes are dense keys (their declaration order matches
+/// both [`FuClass::ALL`] and `Ord`), so per-class tables can use
+/// [`spark_ir::SecondaryMap`] with the same deterministic iteration order a
+/// `BTreeMap<FuClass, _>` had.
+impl spark_ir::DenseKey for FuClass {
+    #[inline]
+    fn dense_index(self) -> usize {
+        self as usize
+    }
+    #[inline]
+    fn from_dense_index(index: usize) -> Self {
+        FuClass::ALL[index]
+    }
+}
+
 impl std::fmt::Display for FuClass {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let name = match self {

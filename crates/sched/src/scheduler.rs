@@ -7,9 +7,7 @@
 //! resources and does not chain across basic blocks; both are expressed
 //! through [`Constraints`].
 
-use std::collections::BTreeMap;
-
-use spark_ir::{BlockId, Function, OpId};
+use spark_ir::{BlockId, Function, OpId, SecondaryMap};
 
 use crate::deps::{DepKind, DependenceGraph, SchedError};
 use crate::resources::{Allocation, FuClass, ResourceLibrary};
@@ -70,6 +68,12 @@ impl Constraints {
 }
 
 /// The result of scheduling one function.
+///
+/// All per-operation facts live in dense [`SecondaryMap`]s keyed by the
+/// arena id. The fields stay public for reading; new operations (such as the
+/// copies inserted by wire-variable insertion) should be added through
+/// [`Schedule::record`], which also maintains the precomputed state → ops
+/// index behind [`Schedule::ops_in_state`].
 #[derive(Clone, Debug, Default)]
 pub struct Schedule {
     /// Number of control steps (FSM states).
@@ -77,17 +81,20 @@ pub struct Schedule {
     /// Clock period the schedule was built for.
     pub clock_period_ns: f64,
     /// Control step of every operation.
-    pub op_state: BTreeMap<OpId, usize>,
+    pub op_state: SecondaryMap<OpId, usize>,
     /// Start time of every operation within its state (ns).
-    pub op_start: BTreeMap<OpId, f64>,
+    pub op_start: SecondaryMap<OpId, f64>,
     /// Finish time of every operation within its state (ns).
-    pub op_finish: BTreeMap<OpId, f64>,
+    pub op_finish: SecondaryMap<OpId, f64>,
     /// Functional-unit instances used, per class (the maximum over states,
     /// with mutually exclusive operations sharing instances).
-    pub fu_instances: BTreeMap<FuClass, usize>,
+    pub fu_instances: SecondaryMap<FuClass, usize>,
     /// For every operation, the functional-unit instance index it was packed
     /// onto (class taken from the operation kind).
-    pub op_instance: BTreeMap<OpId, usize>,
+    pub op_instance: SecondaryMap<OpId, usize>,
+    /// Operations per state in recording (scheduling) order — the O(1) index
+    /// behind [`Schedule::ops_in_state`].
+    state_ops: Vec<Vec<OpId>>,
 }
 
 impl Schedule {
@@ -99,19 +106,34 @@ impl Schedule {
         self.op_state[&op]
     }
 
-    /// Operations assigned to `state`, in program order of scheduling.
-    pub fn ops_in_state(&self, state: usize) -> Vec<OpId> {
-        self.op_state
-            .iter()
-            .filter_map(|(&op, &s)| (s == state).then_some(op))
-            .collect()
+    /// Records the placement of `op`: control step, start/finish times within
+    /// the state and functional-unit instance. Keeps the per-state op index
+    /// and `num_states` consistent; use this instead of inserting into the
+    /// component maps directly.
+    pub fn record(&mut self, op: OpId, state: usize, start: f64, finish: f64, instance: usize) {
+        let previous = self.op_state.insert(op, state);
+        debug_assert!(previous.is_none(), "operation {op:?} scheduled twice");
+        self.op_start.insert(op, start);
+        self.op_finish.insert(op, finish);
+        self.op_instance.insert(op, instance);
+        if self.state_ops.len() <= state {
+            self.state_ops.resize_with(state + 1, Vec::new);
+        }
+        self.state_ops[state].push(op);
+        self.num_states = self.num_states.max(state + 1);
+    }
+
+    /// Operations assigned to `state`, in scheduling order — an O(1) slice
+    /// borrow from the index precomputed at construction.
+    pub fn ops_in_state(&self, state: usize) -> &[OpId] {
+        self.state_ops.get(state).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// The longest combinational path (ns) in `state`.
     pub fn state_critical_path(&self, state: usize) -> f64 {
         self.ops_in_state(state)
-            .into_iter()
-            .map(|op| self.op_finish.get(&op).copied().unwrap_or(0.0))
+            .iter()
+            .map(|op| self.op_finish.get(op).copied().unwrap_or(0.0))
             .fold(0.0, f64::max)
     }
 
@@ -153,16 +175,12 @@ pub fn schedule(
         ..Schedule::default()
     };
 
-    // Block of every live op, for the cross-block chaining test.
-    let mut block_of: BTreeMap<OpId, BlockId> = BTreeMap::new();
-    for block in function.blocks_in_region(function.body) {
-        for &op in &function.blocks[block].ops {
-            block_of.insert(op, block);
-        }
-    }
+    // Block of every op, for the cross-block chaining test — built in one
+    // pass instead of a per-op block scan.
+    let block_of: SecondaryMap<OpId, BlockId> = function.op_blocks();
 
     // Functional-unit instances: state -> class -> instances -> occupants.
-    let mut instances: Vec<BTreeMap<FuClass, Vec<Vec<OpId>>>> = Vec::new();
+    let mut instances: Vec<SecondaryMap<FuClass, Vec<Vec<OpId>>>> = Vec::new();
 
     for &op_id in &graph.order {
         let op = &function.ops[op_id];
@@ -229,12 +247,12 @@ pub fn schedule(
 
             // Resource check with mutual-exclusion sharing.
             while instances.len() <= state {
-                instances.push(BTreeMap::new());
+                instances.push(SecondaryMap::new());
             }
             let slot = if class.is_free() {
                 Some(0)
             } else {
-                let class_instances = instances[state].entry(class).or_default();
+                let class_instances = instances[state].get_or_insert_with(class, Vec::new);
                 let mut found = None;
                 for (index, occupants) in class_instances.iter().enumerate() {
                     if occupants
@@ -265,30 +283,19 @@ pub fn schedule(
                     .push(op_id);
             }
 
-            result.op_state.insert(op_id, state);
-            result.op_start.insert(op_id, arrival);
-            result.op_finish.insert(op_id, arrival + delay);
-            result.op_instance.insert(op_id, instance);
+            result.record(op_id, state, arrival, arrival + delay, instance);
             break;
         }
     }
 
-    result.num_states = result
-        .op_state
-        .values()
-        .copied()
-        .max()
-        .map(|m| m + 1)
-        .unwrap_or(0)
-        .max(if graph.order.is_empty() { 0 } else { 1 });
     // Functional units needed: per class, the maximum instance count over states.
     for state_instances in &instances {
-        for (&class, class_instances) in state_instances {
+        for (class, class_instances) in state_instances.iter() {
             let used = class_instances
                 .iter()
                 .filter(|occupants| !occupants.is_empty())
                 .count();
-            let entry = result.fu_instances.entry(class).or_insert(0);
+            let entry = result.fu_instances.get_or_insert_with(class, || 0);
             *entry = (*entry).max(used);
         }
     }
@@ -453,5 +460,22 @@ mod tests {
         assert_eq!(sched.num_states, 1);
         assert_eq!(sched.critical_path_ns(), 0.0);
         assert!(!sched.fu_instances.contains_key(&FuClass::Wire));
+    }
+
+    #[test]
+    fn ops_in_state_index_matches_op_state_map() {
+        let f = adder_chain();
+        let graph = DependenceGraph::build(&f).unwrap();
+        let lib = ResourceLibrary::new();
+        let sched = schedule(&f, &graph, &lib, &Constraints::microprocessor_block(4.5)).unwrap();
+        let mut indexed = 0usize;
+        for state in 0..sched.num_states {
+            for op in sched.ops_in_state(state) {
+                assert_eq!(sched.op_state.get(op), Some(&state));
+                indexed += 1;
+            }
+        }
+        assert_eq!(indexed, sched.len());
+        assert!(sched.ops_in_state(sched.num_states).is_empty());
     }
 }

@@ -9,7 +9,7 @@
 //! independent checker that re-validates a finished schedule the way the
 //! paper describes.
 
-use spark_ir::{Cfg, Function, OpId};
+use spark_ir::{BlockId, Cfg, Function, OpId, SecondaryMap};
 
 use crate::deps::{DepKind, DependenceGraph, SchedError};
 use crate::resources::ResourceLibrary;
@@ -48,6 +48,16 @@ pub fn validate_chaining(
 ) -> Result<ChainingReport, SchedError> {
     let mut report = ChainingReport::default();
     let cfg = Cfg::build(function);
+    // Dense per-op and per-block side tables, built once: the op → block map
+    // (instead of a full block scan per query), the immediate predecessor
+    // blocks of every block (instead of re-walking virtual CFG nodes), and
+    // memo tables for trail counts and backward-reachable block sets (many
+    // operations share a block, so each block is analysed at most once).
+    let op_blocks = function.op_blocks();
+    let mut pred_blocks: SecondaryMap<BlockId, Vec<BlockId>> = SecondaryMap::new();
+    let mut trail_counts: SecondaryMap<BlockId, usize> = SecondaryMap::new();
+    let mut reachable_sets: SecondaryMap<BlockId, Vec<bool>> = SecondaryMap::new();
+    let block_capacity = function.blocks.len();
 
     for &op_id in &graph.order {
         let Some(&state) = schedule.op_state.get(&op_id) else {
@@ -64,9 +74,9 @@ pub fn validate_chaining(
             continue;
         }
         report.chained_pairs += same_state_producers.len();
-        let own_block = function.block_of(op_id);
+        let own_block = op_blocks.get(&op_id).copied();
         for &producer in &same_state_producers {
-            if function.block_of(producer) != own_block {
+            if op_blocks.get(&producer).copied() != own_block {
                 report.cross_block_pairs += 1;
             }
         }
@@ -75,26 +85,33 @@ pub fn validate_chaining(
         // fully unrolled ILD has exponentially many trails, so correctness is
         // checked with backward reachability below, not with enumeration).
         let Some(block) = own_block else { continue };
-        let trails = cfg.backward_trails(block, 64);
-        report.max_trails = report.max_trails.max(trails.len());
+        let trails =
+            *trail_counts.get_or_insert_with(block, || cfg.backward_trails(block, 64).len());
+        report.max_trails = report.max_trails.max(trails);
 
         // Every chained producer must lie on this op's own block or on some
         // block backward-reachable from it (otherwise the value could never
         // reach the consumer on any trail).
-        let mut reachable_blocks = std::collections::BTreeSet::new();
-        let mut frontier = vec![block];
-        while let Some(current) = frontier.pop() {
-            for pred in cfg.pred_blocks(current) {
-                if reachable_blocks.insert(pred) {
-                    frontier.push(pred);
+        if reachable_sets.get(&block).is_none() {
+            let mut reachable = vec![false; block_capacity];
+            let mut frontier = vec![block];
+            while let Some(current) = frontier.pop() {
+                let preds = pred_blocks.get_or_insert_with(current, || cfg.pred_blocks(current));
+                for &pred in preds.iter() {
+                    if !reachable[pred.index()] {
+                        reachable[pred.index()] = true;
+                        frontier.push(pred);
+                    }
                 }
             }
+            reachable_sets.insert(block, reachable);
         }
+        let reachable_blocks = &reachable_sets[&block];
         for &producer in &same_state_producers {
-            let producer_block = function.block_of(producer);
+            let producer_block = op_blocks.get(&producer).copied();
             let reachable = producer_block == own_block
                 || producer_block
-                    .map(|b| reachable_blocks.contains(&b))
+                    .map(|b| reachable_blocks[b.index()])
                     .unwrap_or(false);
             if !reachable {
                 return Err(SchedError::Unschedulable(format!(
@@ -197,7 +214,7 @@ mod tests {
         let mut sched =
             schedule(&f, &graph, &lib, &Constraints::microprocessor_block(10.0)).unwrap();
         // Corrupt a finish time beyond the clock period.
-        let victim = *sched.op_finish.keys().last().unwrap();
+        let victim = sched.op_finish.keys().last().unwrap();
         sched.op_finish.insert(victim, 99.0);
         let err = validate_chaining(&f, &graph, &sched, &lib).unwrap_err();
         assert!(matches!(err, SchedError::Unschedulable(_)));

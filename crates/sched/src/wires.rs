@@ -12,7 +12,9 @@
 
 use std::collections::BTreeMap;
 
-use spark_ir::{Function, HtgNode, NodeId, OpId, OpKind, RegionId, Value, VarId};
+use spark_ir::{
+    BlockId, Function, HtgNode, NodeId, OpId, OpKind, RegionId, SecondaryMap, Value, VarId,
+};
 
 use crate::scheduler::Schedule;
 
@@ -44,12 +46,13 @@ pub fn insert_wire_variables(function: &mut Function, schedule: &mut Schedule) -
     // Group same-state flow pairs by (variable, state).
     // For determinism iterate ops in program order.
     let order: Vec<OpId> = function.live_ops();
-    let position: BTreeMap<OpId, usize> = order
+    let position: SecondaryMap<OpId, usize> = order
         .iter()
         .copied()
         .enumerate()
         .map(|(i, o)| (o, i))
         .collect();
+    let op_blocks = function.op_blocks();
 
     // variable -> state -> (writers, readers) among live ops.
     let mut accesses: BTreeMap<(VarId, usize), (Vec<OpId>, Vec<OpId>)> = BTreeMap::new();
@@ -101,20 +104,19 @@ pub fn insert_wire_variables(function: &mut Function, schedule: &mut Schedule) -
         // Figure 7 case: if any relevant writer is conditional, pre-initialise
         // the wire from the register before the outermost conditional that
         // contains the first writer.
-        let needs_initializer = writers
-            .iter()
-            .any(|&w| position[&w] >= position[&first_writer] && is_guarded(function, w));
+        let needs_initializer = writers.iter().any(|&w| {
+            position[&w] >= position[&first_writer] && is_guarded(function, w, &op_blocks)
+        });
         if needs_initializer {
-            if let Some((region, index)) = outermost_conditional_before(function, first_writer) {
+            if let Some((region, index)) =
+                outermost_conditional_before(function, first_writer, &op_blocks)
+            {
                 let init_block = function.add_block(format!("winit_{}", function.vars[var].name));
                 let init_op =
                     function.push_op(init_block, OpKind::Copy, Some(wire), vec![Value::Var(var)]);
                 let node = function.add_block_node(init_block);
                 function.regions[region].nodes.insert(index, node);
-                schedule.op_state.insert(init_op, state);
-                schedule.op_start.insert(init_op, 0.0);
-                schedule.op_finish.insert(init_op, 0.0);
-                schedule.op_instance.insert(init_op, 0);
+                schedule.record(init_op, state, 0.0, 0.0, 0);
                 report.initializers += 1;
             }
         }
@@ -125,7 +127,7 @@ pub fn insert_wire_variables(function: &mut Function, schedule: &mut Schedule) -
                 // A writer after every chained reader does not need rewriting.
                 continue;
             }
-            let Some(block) = function.block_of(writer) else {
+            let Some(&block) = op_blocks.get(&writer) else {
                 continue;
             };
             function.ops[writer].dest = Some(wire);
@@ -137,10 +139,7 @@ pub fn insert_wire_variables(function: &mut Function, schedule: &mut Schedule) -
                 .expect("writer in block");
             function.blocks[block].insert(at + 1, commit);
             let finish = schedule.op_finish.get(&writer).copied().unwrap_or(0.0);
-            schedule.op_state.insert(commit, state);
-            schedule.op_start.insert(commit, finish);
-            schedule.op_finish.insert(commit, finish);
-            schedule.op_instance.insert(commit, 0);
+            schedule.record(commit, state, finish, finish, 0);
             report.producers_rewritten += 1;
             report.commit_copies += 1;
         }
@@ -159,8 +158,8 @@ pub fn insert_wire_variables(function: &mut Function, schedule: &mut Schedule) -
 }
 
 /// Returns `true` if the op sits inside at least one `if` branch.
-fn is_guarded(function: &Function, op: OpId) -> bool {
-    let Some(block) = function.block_of(op) else {
+fn is_guarded(function: &Function, op: OpId, op_blocks: &SecondaryMap<OpId, BlockId>) -> bool {
+    let Some(&block) = op_blocks.get(&op) else {
         return false;
     };
     fn walk(
@@ -198,8 +197,12 @@ fn is_guarded(function: &Function, op: OpId) -> bool {
 /// Finds the outermost compound node containing `op` and returns its parent
 /// region together with the node's index in it, so an initialiser can be
 /// inserted right before it. Returns `None` for unguarded ops.
-fn outermost_conditional_before(function: &Function, op: OpId) -> Option<(RegionId, usize)> {
-    let block = function.block_of(op)?;
+fn outermost_conditional_before(
+    function: &Function,
+    op: OpId,
+    op_blocks: &SecondaryMap<OpId, BlockId>,
+) -> Option<(RegionId, usize)> {
+    let block = *op_blocks.get(&op)?;
     // Find the chain of nodes from the body down to the block.
     fn find_chain(
         function: &Function,

@@ -5,6 +5,18 @@
 //! wall-clock harness: each benchmark is warmed up, then timed over an
 //! iteration count calibrated to a fixed measurement window, and the mean
 //! per-iteration time is printed. No statistics, plots or comparisons.
+//!
+//! The harness is runnable end-to-end under `cargo bench`, not just
+//! compile-checked with `--no-run`:
+//!
+//! * positional command-line arguments act as substring filters on the
+//!   `group/benchmark` id, mirroring `cargo bench -- <filter>`; flags that
+//!   cargo itself appends (`--bench`, and any other `-`-prefixed argument)
+//!   are ignored;
+//! * `--list` prints benchmark ids without running them;
+//! * the measurement window (default 100 ms per benchmark) can be shrunk for
+//!   smoke runs with the `CRITERION_MEASUREMENT_MS` environment variable —
+//!   CI sets a small window so the full suite executes in seconds.
 
 #![warn(missing_docs)]
 
@@ -78,9 +90,46 @@ impl Bencher<'_> {
     }
 }
 
+/// What the harness was asked to do with each benchmark.
+#[derive(Debug, Clone)]
+struct RunConfig {
+    /// Positional substring filters; empty means "run everything".
+    filters: Vec<String>,
+    /// Print ids instead of running.
+    list_only: bool,
+    /// Measurement window per benchmark.
+    measurement_window: Duration,
+}
+
+impl RunConfig {
+    fn from_env() -> Self {
+        let filters: Vec<String> = std::env::args()
+            .skip(1)
+            .filter(|arg| arg != "--list" && !arg.starts_with('-'))
+            .collect();
+        let list_only = std::env::args().any(|arg| arg == "--list");
+        let measurement_window = std::env::var("CRITERION_MEASUREMENT_MS")
+            .ok()
+            .and_then(|ms| ms.parse::<u64>().ok())
+            .map(Duration::from_millis)
+            .unwrap_or(Duration::from_millis(100));
+        RunConfig {
+            filters,
+            list_only,
+            measurement_window,
+        }
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| id.contains(f.as_str()))
+    }
+}
+
 /// A named collection of related benchmarks.
 pub struct BenchmarkGroup<'a> {
     name: String,
+    config: RunConfig,
+    header_printed: bool,
     _criterion: &'a mut Criterion,
 }
 
@@ -90,33 +139,47 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    fn run_one<F>(&mut self, label: &str, mut f: F)
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let id = format!("{}/{label}", self.name);
+        if !self.config.matches(&id) {
+            return;
+        }
+        if self.config.list_only {
+            println!("{id}: benchmark");
+            return;
+        }
+        if !self.header_printed {
+            println!("== group: {}", self.name);
+            self.header_printed = true;
+        }
+        let mut elapsed = Duration::ZERO;
+        let mut bencher = Bencher {
+            elapsed: &mut elapsed,
+            measurement_window: self.config.measurement_window,
+        };
+        f(&mut bencher);
+        println!("{}/{label:<24} {elapsed:>12.3?}/iter", self.name);
+    }
+
     /// Runs one benchmark with an explicit input value.
     pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher<'_>, &I),
     {
-        let mut elapsed = Duration::ZERO;
-        let mut bencher = Bencher {
-            elapsed: &mut elapsed,
-            measurement_window: Duration::from_millis(100),
-        };
-        f(&mut bencher, input);
-        println!("{}/{:<24} {:>12.3?}/iter", self.name, id.label, elapsed);
+        let label = id.label.clone();
+        self.run_one(&label, |bencher| f(bencher, input));
         self
     }
 
     /// Runs one benchmark identified by name alone.
-    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher<'_>),
     {
-        let mut elapsed = Duration::ZERO;
-        let mut bencher = Bencher {
-            elapsed: &mut elapsed,
-            measurement_window: Duration::from_millis(100),
-        };
-        f(&mut bencher);
-        println!("{}/{:<24} {:>12.3?}/iter", self.name, id, elapsed);
+        self.run_one(&id.to_string(), f);
         self
     }
 
@@ -125,16 +188,25 @@ impl BenchmarkGroup<'_> {
 }
 
 /// Entry point mirroring `criterion::Criterion`.
-#[derive(Default)]
-pub struct Criterion {}
+pub struct Criterion {
+    config: RunConfig,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            config: RunConfig::from_env(),
+        }
+    }
+}
 
 impl Criterion {
     /// Opens a named benchmark group.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        let name = name.into();
-        println!("== group: {name}");
         BenchmarkGroup {
-            name,
+            name: name.into(),
+            config: self.config.clone(),
+            header_printed: false,
             _criterion: self,
         }
     }
