@@ -14,6 +14,26 @@
 
 use spark_bench::perf::{bench_json, measure_synthesize};
 
+const USAGE: &str = "\
+usage: bench_synthesize [options]
+
+Measures full-synthesis wall time per ILD buffer size and flow mode, and
+emits the series as JSON.
+
+options:
+  --sizes N,N,...  comma-separated ILD buffer sizes (default: 8,16,32)
+  --iters N        timed iterations per point, after one warm-up (default: 5)
+  --out FILE       also write the JSON to FILE
+  -h, --help       print this help
+";
+
+/// Reports a usage error on stderr and exits with code 2.
+fn usage_error(message: impl std::fmt::Display) -> ! {
+    eprintln!("bench_synthesize: error: {message}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
 fn parse_args() -> (Vec<u32>, u32, Option<String>) {
     let mut sizes = vec![8u32, 16, 32];
     let mut iters = 5u32;
@@ -21,28 +41,41 @@ fn parse_args() -> (Vec<u32>, u32, Option<String>) {
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
             "--sizes" => {
-                let value = args.next().expect("--sizes needs a comma-separated list");
+                let value = args
+                    .next()
+                    .unwrap_or_else(|| usage_error("--sizes needs a comma-separated list"));
                 sizes = value
                     .split(',')
-                    .map(|s| s.trim().parse().expect("size must be an integer"))
+                    .map(|s| {
+                        s.trim()
+                            .parse()
+                            .unwrap_or_else(|_| usage_error(format!("invalid size `{s}`")))
+                    })
                     .collect();
+                if sizes.is_empty() {
+                    usage_error("--sizes needs at least one size");
+                }
             }
             "--iters" => {
-                iters = args
+                let value = args
                     .next()
-                    .expect("--iters needs a count")
+                    .unwrap_or_else(|| usage_error("--iters needs a count"));
+                iters = value
                     .parse()
-                    .expect("iteration count must be an integer");
+                    .unwrap_or_else(|_| usage_error(format!("invalid iteration count `{value}`")));
             }
             "--out" => {
-                out = Some(args.next().expect("--out needs a path"));
+                out = Some(
+                    args.next()
+                        .unwrap_or_else(|| usage_error("--out needs a path")),
+                );
             }
-            other => {
-                eprintln!("unknown argument `{other}`");
-                eprintln!("usage: bench_synthesize [--sizes 8,16,32] [--iters 5] [--out FILE]");
-                std::process::exit(2);
-            }
+            other => usage_error(format!("unknown argument `{other}`")),
         }
     }
     (sizes, iters, out)
@@ -55,7 +88,12 @@ fn main() {
     let json = bench_json(&records);
     print!("{json}");
     if let Some(path) = out {
-        std::fs::write(&path, &json).expect("write benchmark JSON");
-        eprintln!("wrote {path}");
+        match std::fs::write(&path, &json) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => {
+                eprintln!("bench_synthesize: error: cannot write `{path}`: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 }

@@ -1,0 +1,235 @@
+//! `sparkc` — the SPARK-C source-to-VHDL compiler driver.
+//!
+//! Runs the whole reproduction pipeline on a textual behavioral program:
+//! parse → semantic checks → HTG lowering → coordinated transformations →
+//! chaining-aware scheduling → binding → VHDL / report emission, with the
+//! frontend's diagnostics printed as `file:line:col: error: message`.
+//!
+//! ```text
+//! sparkc crates/bench/programs/quantize.spark --emit vhdl
+//! sparkc design.spark --dump-ast --dump-ir --emit report
+//! sparkc design.spark --check --emit none        # simulate RTL vs interpreter
+//! ```
+//!
+//! Exit codes: 0 success, 1 compilation/synthesis/check failure, 2 usage
+//! error.
+
+use std::process::ExitCode;
+
+use spark_bench::corpus::{check_rtl_matches_interp, synthesis_fingerprint};
+use spark_core::{synthesize, FlowOptions};
+
+const USAGE: &str = "\
+usage: sparkc <FILE.spark> [options]
+
+Compiles a SPARK-C behavioral program (see docs/LANGUAGE.md) through the
+coordinated SPARK flow and emits synthesized RTL.
+
+options:
+  --top NAME        synthesize function NAME (default: first in the file)
+  --emit KIND       what to print: vhdl | report | fingerprint | none
+                    (default: vhdl)
+  --dump-ast        pretty-print the parsed AST to stderr
+  --dump-ir         print the lowered behavioral IR to stderr
+  --check           simulate the scheduled RTL against the IR interpreter
+                    on 8 seeded random inputs; fail on any mismatch
+  --clock NS        target clock period in ns (default: 2000)
+  --mode MODE       flow recipe: spark (coordinated) | asic (baseline)
+                    (default: spark)
+  -o FILE           write the emitted output to FILE instead of stdout
+  -h, --help        print this help
+";
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Emit {
+    Vhdl,
+    Report,
+    Fingerprint,
+    None,
+}
+
+struct Options {
+    file: String,
+    top: Option<String>,
+    emit: Emit,
+    dump_ast: bool,
+    dump_ir: bool,
+    check: bool,
+    clock_ns: f64,
+    asic: bool,
+    out: Option<String>,
+}
+
+/// Reports a usage error on stderr and exits with code 2.
+fn usage_error(message: impl std::fmt::Display) -> ! {
+    eprintln!("sparkc: error: {message}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut file = None;
+    let mut top = None;
+    let mut emit = Emit::Vhdl;
+    let mut dump_ast = false;
+    let mut dump_ir = false;
+    let mut check = false;
+    let mut clock_ns = 2000.0;
+    let mut asic = false;
+    let mut out = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            "--top" => {
+                top = Some(args.next().unwrap_or_else(|| {
+                    usage_error("--top needs a function name");
+                }));
+            }
+            "--emit" => {
+                let kind = args
+                    .next()
+                    .unwrap_or_else(|| usage_error("--emit needs a kind"));
+                emit = match kind.as_str() {
+                    "vhdl" => Emit::Vhdl,
+                    "report" => Emit::Report,
+                    "fingerprint" => Emit::Fingerprint,
+                    "none" => Emit::None,
+                    other => usage_error(format!(
+                        "unknown emit kind `{other}` (expected vhdl, report, fingerprint or none)"
+                    )),
+                };
+            }
+            "--dump-ast" => dump_ast = true,
+            "--dump-ir" => dump_ir = true,
+            "--check" => check = true,
+            "--clock" => {
+                let value = args
+                    .next()
+                    .unwrap_or_else(|| usage_error("--clock needs a period in ns"));
+                clock_ns = value.parse().unwrap_or_else(|_| {
+                    usage_error(format!("invalid clock period `{value}`"));
+                });
+                if clock_ns <= 0.0 {
+                    usage_error("clock period must be positive");
+                }
+            }
+            "--mode" => {
+                let mode = args
+                    .next()
+                    .unwrap_or_else(|| usage_error("--mode needs spark or asic"));
+                asic = match mode.as_str() {
+                    "spark" => false,
+                    "asic" => true,
+                    other => usage_error(format!("unknown mode `{other}`")),
+                };
+            }
+            "-o" => {
+                out = Some(args.next().unwrap_or_else(|| {
+                    usage_error("-o needs an output path");
+                }));
+            }
+            other if other.starts_with('-') => {
+                usage_error(format!("unknown option `{other}`"));
+            }
+            other => {
+                if file.replace(other.to_string()).is_some() {
+                    usage_error("exactly one input file expected");
+                }
+            }
+        }
+    }
+
+    let Some(file) = file else {
+        usage_error("no input file");
+    };
+    Options {
+        file,
+        top,
+        emit,
+        dump_ast,
+        dump_ir,
+        check,
+        clock_ns,
+        asic,
+        out,
+    }
+}
+
+fn main() -> ExitCode {
+    let options = parse_args();
+    let source = match std::fs::read_to_string(&options.file) {
+        Ok(source) => source,
+        Err(e) => {
+            eprintln!("sparkc: cannot read `{}`: {e}", options.file);
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // ---- Frontend --------------------------------------------------------
+    let compiled = match spark_front::compile(&source) {
+        Ok(compiled) => compiled,
+        Err(diags) => {
+            for diag in &diags {
+                eprintln!("{}:{diag}", options.file);
+            }
+            eprintln!("sparkc: {} error(s) in `{}`", diags.len(), options.file);
+            return ExitCode::FAILURE;
+        }
+    };
+    if options.dump_ast {
+        eprint!("{}", compiled.ast);
+    }
+    if options.dump_ir {
+        for function in &compiled.program.functions {
+            eprint!("{function}");
+        }
+    }
+    let top = options.top.clone().unwrap_or_else(|| compiled.top.clone());
+
+    // ---- Coordinated flow ------------------------------------------------
+    let flow = if options.asic {
+        FlowOptions::asic_baseline(options.clock_ns)
+    } else {
+        FlowOptions::microprocessor_block(options.clock_ns)
+    };
+    let result = match synthesize(&compiled.program, &top, &flow) {
+        Ok(result) => result,
+        Err(e) => {
+            eprintln!("sparkc: synthesis of `{top}` failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // ---- Optional RTL-vs-interpreter check -------------------------------
+    if options.check {
+        if let Err(e) = check_rtl_matches_interp(&compiled, &top, &result, 0..8) {
+            eprintln!("sparkc: check failed for `{top}`: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("sparkc: check passed: RTL matches the interpreter on 8 seeded inputs");
+    }
+
+    // ---- Emission --------------------------------------------------------
+    let output = match options.emit {
+        Emit::Vhdl => result.vhdl(),
+        Emit::Report => format!("{}", result.report),
+        Emit::Fingerprint => format!("{:016x}\n", synthesis_fingerprint(&result)),
+        Emit::None => String::new(),
+    };
+    match &options.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &output) {
+                eprintln!("sparkc: cannot write `{path}`: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("sparkc: wrote {path}");
+        }
+        None => print!("{output}"),
+    }
+    ExitCode::SUCCESS
+}

@@ -10,11 +10,12 @@
 //! [`spark_core::par_map`] and prints the collected results in input order,
 //! so the tables are byte-identical to the serial driver's output.
 
+use crate::corpus::{corpus_paths, synthesis_fingerprint};
 use crate::{
     figure2_loop, figure2_unrolled_schedule, figure4_fragment, synthesize_ild_baseline,
     synthesize_ild_natural, synthesize_ild_spark, ILD_SIZES, SINGLE_CYCLE_CLOCK_NS,
 };
-use spark_core::{ablation_study, format_table, par_map};
+use spark_core::{ablation_study, format_table, par_map, synthesize, FlowOptions};
 use spark_ild::{build_ild_program, ILD_FUNCTION};
 use spark_sched::{schedule, Constraints, DependenceGraph, ResourceLibrary};
 
@@ -27,6 +28,9 @@ pub struct ReproduceOptions {
     pub detail_n: u32,
     /// Buffer sizes for the natural-description experiment (E10).
     pub natural_sizes: Vec<u32>,
+    /// Upper bound on how many `.spark` corpus programs the frontend
+    /// experiment synthesizes (`None` = all of them).
+    pub corpus_limit: Option<usize>,
 }
 
 impl ReproduceOptions {
@@ -36,6 +40,7 @@ impl ReproduceOptions {
             sizes: ILD_SIZES.to_vec(),
             detail_n: 16,
             natural_sizes: vec![4, 8, 16],
+            corpus_limit: None,
         }
     }
 
@@ -45,6 +50,7 @@ impl ReproduceOptions {
             sizes: vec![4],
             detail_n: 4,
             natural_sizes: vec![4],
+            corpus_limit: Some(3),
         }
     }
 }
@@ -57,6 +63,7 @@ pub fn run_all(opts: &ReproduceOptions) {
     experiment_e9(opts);
     experiment_e10(opts);
     experiment_ablation(opts);
+    experiment_frontend_corpus(opts);
 }
 
 /// E1 — Figures 2–3: loop unrolling + constant propagation expose
@@ -230,4 +237,53 @@ fn experiment_ablation(opts: &ReproduceOptions) {
     let points =
         ablation_study(&program, ILD_FUNCTION, SINGLE_CYCLE_CLOCK_NS).expect("ablation study runs");
     println!("{}", format_table(&points));
+}
+
+/// Parser-driven workloads: every committed `.spark` corpus program through
+/// the textual frontend and the coordinated flow — the first experiments
+/// whose inputs are not baked into the binary.
+fn experiment_frontend_corpus(opts: &ReproduceOptions) {
+    let mut paths = corpus_paths();
+    let total = paths.len();
+    if let Some(limit) = opts.corpus_limit {
+        paths.truncate(limit);
+    }
+    if paths.len() < total {
+        println!(
+            "== Frontend corpus (first {} of {total} programs in crates/bench/programs, coordinated flow) ==",
+            paths.len()
+        );
+    } else {
+        println!("== Frontend corpus (crates/bench/programs/*.spark, coordinated flow) ==");
+    }
+    println!(
+        "{:<18} {:>8} {:>8} {:>14} {:>8} {:>10} {:>18}",
+        "program", "states", "ops", "crit.path ns", "FUs", "area", "fingerprint"
+    );
+    let rows = par_map(&paths, |path| {
+        let stem = path.file_stem().unwrap().to_string_lossy().to_string();
+        let source = std::fs::read_to_string(path).expect("corpus file readable");
+        let compiled = spark_front::compile(&source).expect("corpus program compiles");
+        let result = synthesize(
+            &compiled.program,
+            &compiled.top,
+            &FlowOptions::microprocessor_block(SINGLE_CYCLE_CLOCK_NS),
+        )
+        .expect("corpus program synthesizes");
+        let fingerprint = synthesis_fingerprint(&result);
+        (stem, result.report, fingerprint)
+    });
+    for (stem, report, fingerprint) in &rows {
+        println!(
+            "{:<18} {:>8} {:>8} {:>14.2} {:>8} {:>10.0} {:>18}",
+            stem,
+            report.states,
+            report.operations,
+            report.critical_path_ns,
+            report.total_functional_units(),
+            report.area_estimate,
+            format!("{fingerprint:016x}")
+        );
+    }
+    println!();
 }

@@ -11,6 +11,7 @@
 
 #![warn(missing_docs)]
 
+pub mod corpus;
 pub mod experiments;
 pub mod perf;
 

@@ -1,0 +1,138 @@
+//! End-to-end gate over the committed SPARK-C corpus
+//! (`crates/bench/programs/*.spark`).
+//!
+//! Every corpus program must (1) compile without diagnostics, (2) lower to
+//! IR that `spark_ir::verify` accepts, (3) synthesize under the coordinated
+//! flow, (4) produce RTL whose cycle-accurate simulation matches both the
+//! sequential interpreter on the lowered program and the frontend's own AST
+//! evaluator on seeded random inputs, and (5) reproduce the schedule/binding
+//! fingerprint committed in `programs/fingerprints.txt` — any drift in the
+//! frontend, the transformations, the scheduler or the binder shows up here
+//! as a named mismatch.
+//!
+//! The textual ILD is additionally pinned against its builder-constructed
+//! twin: `ild_n8.spark` must fingerprint identically to
+//! `spark_ild::build_ild_program(8)`.
+
+use std::collections::BTreeMap;
+
+use spark_bench::corpus::{
+    check_rtl_matches_interp, corpus_paths, programs_dir, synthesis_fingerprint,
+};
+use spark_core::{synthesize, FlowOptions};
+use spark_ild::{build_ild_program, ILD_FUNCTION};
+use spark_ir::verify;
+
+/// The flow every corpus program is synthesized under (generous single-cycle
+/// clock, the paper's microprocessor-block recipe).
+fn corpus_flow() -> FlowOptions {
+    FlowOptions::microprocessor_block(2000.0)
+}
+
+fn committed_fingerprints() -> BTreeMap<String, u64> {
+    let text = std::fs::read_to_string(programs_dir().join("fingerprints.txt"))
+        .expect("programs/fingerprints.txt is committed");
+    text.lines()
+        .filter(|line| !line.trim().is_empty())
+        .map(|line| {
+            let (name, hex) = line
+                .split_once(' ')
+                .expect("fingerprint lines are `name hex`");
+            (
+                name.to_string(),
+                u64::from_str_radix(hex.trim(), 16).expect("fingerprint is hex"),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn corpus_is_nonempty_and_fingerprint_file_covers_it() {
+    let paths = corpus_paths();
+    assert!(
+        paths.len() >= 8,
+        "expected at least 8 corpus programs, found {}",
+        paths.len()
+    );
+    let fingerprints = committed_fingerprints();
+    for path in &paths {
+        let stem = path.file_stem().unwrap().to_string_lossy().to_string();
+        assert!(
+            fingerprints.contains_key(&stem),
+            "`{stem}` missing from programs/fingerprints.txt — regenerate with \
+             `sparkc {stem}.spark --emit fingerprint`"
+        );
+    }
+    assert_eq!(
+        fingerprints.len(),
+        paths.len(),
+        "fingerprints.txt lists programs that no longer exist"
+    );
+}
+
+#[test]
+fn every_corpus_program_compiles_synthesizes_and_simulates_correctly() {
+    let fingerprints = committed_fingerprints();
+    for path in corpus_paths() {
+        let stem = path.file_stem().unwrap().to_string_lossy().to_string();
+        let source = std::fs::read_to_string(&path).expect("corpus file readable");
+        let compiled = spark_front::compile(&source).unwrap_or_else(|diags| {
+            panic!(
+                "`{stem}` failed to compile: {}",
+                diags
+                    .iter()
+                    .map(|d| d.to_string())
+                    .collect::<Vec<_>>()
+                    .join("; ")
+            )
+        });
+        for function in &compiled.program.functions {
+            verify(function).unwrap_or_else(|e| panic!("`{stem}`/{}: {e:?}", function.name));
+        }
+        let result = synthesize(&compiled.program, &compiled.top, &corpus_flow())
+            .unwrap_or_else(|e| panic!("`{stem}` failed to synthesize: {e}"));
+        check_rtl_matches_interp(&compiled, &compiled.top, &result, 0..8)
+            .unwrap_or_else(|e| panic!("`{stem}`: {e}"));
+        let fingerprint = synthesis_fingerprint(&result);
+        assert_eq!(
+            fingerprint, fingerprints[&stem],
+            "`{stem}` drifted from its committed fingerprint \
+             ({fingerprint:016x} vs {:016x}) — if the change is intentional, \
+             regenerate programs/fingerprints.txt",
+            fingerprints[&stem]
+        );
+    }
+}
+
+#[test]
+fn textual_ild_fingerprints_identically_to_its_builder_twin() {
+    // The acceptance bar for the frontend: the transliterated Figure 10
+    // source must lower to a structurally identical function and hence an
+    // identical schedule, binding and report.
+    let source = std::fs::read_to_string(programs_dir().join("ild_n8.spark")).unwrap();
+    let compiled = spark_front::compile(&source).expect("ild_n8 compiles");
+    assert_eq!(compiled.top, "ild");
+    let from_source = synthesize(&compiled.program, "ild", &corpus_flow()).unwrap();
+    let from_builder = synthesize(&build_ild_program(8), ILD_FUNCTION, &corpus_flow()).unwrap();
+    assert_eq!(
+        synthesis_fingerprint(&from_source),
+        synthesis_fingerprint(&from_builder),
+        "parser-driven ILD diverged from the builder-constructed ILD"
+    );
+}
+
+#[test]
+fn corpus_programs_single_cycle_where_expected() {
+    // The pure-dataflow kernels must reach the paper's single-cycle
+    // architecture once fully unrolled and speculated.
+    for stem in ["abs_diff", "dot4", "quantize", "running_max", "parity8"] {
+        let source = std::fs::read_to_string(programs_dir().join(format!("{stem}.spark"))).unwrap();
+        let compiled = spark_front::compile(&source).unwrap();
+        let result = synthesize(&compiled.program, &compiled.top, &corpus_flow()).unwrap();
+        assert!(
+            result.is_single_cycle(),
+            "`{stem}` should synthesize to a single cycle, took {} states",
+            result.report.states
+        );
+    }
+}

@@ -147,57 +147,7 @@ fn generated_vhdl_describes_the_single_cycle_architecture() {
     assert!(!vhdl.contains("when 1 =>"));
 }
 
-/// FNV-1a over a canonical dump of the schedule, binding and datapath report.
-fn fnv64(bytes: impl Iterator<Item = u8>) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in bytes {
-        hash = (hash ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
-}
-
-/// Canonical fingerprint of everything scheduling and binding decided: per-op
-/// control step, start/finish times and FU instance, the register assignment,
-/// the FU packing and the rendered datapath report.
-fn synthesis_fingerprint(result: &spark_core::SynthesisResult) -> u64 {
-    use spark_sched::FuClass;
-    let mut text = String::new();
-    for op in result.function.live_ops() {
-        let state = result
-            .schedule
-            .op_state
-            .get(&op)
-            .copied()
-            .unwrap_or(usize::MAX);
-        let start = result.schedule.op_start.get(&op).copied().unwrap_or(-1.0);
-        let finish = result.schedule.op_finish.get(&op).copied().unwrap_or(-1.0);
-        let instance = result
-            .schedule
-            .op_instance
-            .get(&op)
-            .copied()
-            .unwrap_or(usize::MAX);
-        text.push_str(&format!(
-            "op{}:{state}:{start:.3}:{finish:.3}:{instance}\n",
-            op.raw()
-        ));
-    }
-    for (var_id, _) in result.function.vars.iter() {
-        if let Some(&reg) = result.binding.register_of.get(&var_id) {
-            text.push_str(&format!("reg v{}:{reg}\n", var_id.raw()));
-        }
-    }
-    for class in FuClass::ALL {
-        if let Some(instances) = result.binding.fu_instances.get(&class) {
-            for (i, fu) in instances.iter().enumerate() {
-                let ops: Vec<String> = fu.ops.iter().map(|o| o.raw().to_string()).collect();
-                text.push_str(&format!("fu {class}/{i}: {}\n", ops.join(",")));
-            }
-        }
-    }
-    text.push_str(&result.report.to_string());
-    fnv64(text.bytes())
-}
+use spark_bench::corpus::synthesis_fingerprint;
 
 /// The dense-map scheduler must keep producing byte-identical schedules,
 /// bindings and `DatapathReport`s to the seed (BTreeMap-based) implementation.

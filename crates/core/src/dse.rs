@@ -92,10 +92,10 @@ pub fn ablation_study(
     let results = par_map(&configurations, |(label, options)| {
         let report = match synthesize(program, top, options) {
             Ok(result) => Ok(Some(result.report)),
-            Err(SynthesisError::UnknownFunction(name)) => {
-                Err(SynthesisError::UnknownFunction(name))
-            }
+            // An infeasible schedule is a legitimate "no design here" point;
+            // everything else (missing function, corrupted IR) is an error.
             Err(SynthesisError::Scheduling(_)) => Ok(None),
+            Err(other) => Err(other),
         };
         (label.clone(), report)
     });

@@ -51,6 +51,7 @@ mod pipeline;
 pub use dse::{ablation_study, format_table, sweep_clock_period, DesignPoint};
 pub use par::par_map;
 pub use pipeline::{
-    synthesize, synthesize_transformed, transform_program, FlowMode, FlowOptions, StageSnapshot,
-    SynthesisError, SynthesisResult, TransformedProgram,
+    synthesize, synthesize_source, synthesize_transformed, transform_program, FlowMode,
+    FlowOptions, SourceSynthesisError, StageSnapshot, SynthesisError, SynthesisResult,
+    TransformedProgram,
 };

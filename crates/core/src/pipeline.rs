@@ -53,6 +53,11 @@ pub struct FlowOptions {
     /// Run the complementary code motions (reverse speculation and early
     /// condition execution) before scheduling.
     pub secondary_code_motions: bool,
+    /// Run [`spark_ir::verify`] on the top-level function after every
+    /// transformation pass, so malformed IR from any producer (builder,
+    /// frontend or a buggy pass) fails fast with the pass named instead of
+    /// panicking somewhere downstream. Defaults to on in debug builds.
+    pub verify_ir: bool,
 }
 
 impl FlowOptions {
@@ -68,6 +73,7 @@ impl FlowOptions {
             constant_propagation: true,
             cse: true,
             secondary_code_motions: false,
+            verify_ir: cfg!(debug_assertions),
         }
     }
 
@@ -84,6 +90,7 @@ impl FlowOptions {
             constant_propagation: true,
             cse: false,
             secondary_code_motions: false,
+            verify_ir: cfg!(debug_assertions),
         }
     }
 
@@ -104,6 +111,15 @@ pub enum SynthesisError {
     UnknownFunction(String),
     /// Scheduling failed.
     Scheduling(SchedError),
+    /// A transformation pass left the IR structurally malformed
+    /// (reported only when [`FlowOptions::verify_ir`] is set).
+    MalformedIr {
+        /// Name of the pass after which verification failed (`"input"` when
+        /// the program was malformed before any pass ran).
+        pass: String,
+        /// The structural violations found.
+        errors: Vec<spark_ir::VerifyError>,
+    },
 }
 
 impl std::fmt::Display for SynthesisError {
@@ -111,6 +127,17 @@ impl std::fmt::Display for SynthesisError {
         match self {
             SynthesisError::UnknownFunction(name) => write!(f, "unknown function `{name}`"),
             SynthesisError::Scheduling(e) => write!(f, "scheduling failed: {e}"),
+            SynthesisError::MalformedIr { pass, errors } => {
+                write!(
+                    f,
+                    "IR malformed after pass `{pass}`: {}",
+                    errors
+                        .iter()
+                        .map(|e| e.to_string())
+                        .collect::<Vec<_>>()
+                        .join("; ")
+                )
+            }
         }
     }
 }
@@ -204,6 +231,27 @@ pub struct TransformedProgram {
     pub stages: Vec<StageSnapshot>,
 }
 
+/// Appends a pass report to the log and — when [`FlowOptions::verify_ir`]
+/// is set — re-verifies the top-level function, so a pass that corrupts the
+/// IR fails here with its name attached instead of panicking downstream.
+fn record_pass(
+    report: xf::Report,
+    working: &Program,
+    top: &str,
+    options: &FlowOptions,
+    pass_log: &mut Vec<xf::Report>,
+) -> Result<(), SynthesisError> {
+    let pass = report.pass.clone();
+    pass_log.push(report);
+    if options.verify_ir {
+        if let Some(function) = working.function(top) {
+            spark_ir::verify(function)
+                .map_err(|errors| SynthesisError::MalformedIr { pass, errors })?;
+        }
+    }
+    Ok(())
+}
+
 /// Runs the transformation half of the coordinated flow: source-level
 /// rewriting, inlining, speculation, unrolling and the fine-grain clean-up,
 /// under the transformation switches of `options`. The clock period in
@@ -211,7 +259,9 @@ pub struct TransformedProgram {
 /// what makes the result reusable across a clock sweep.
 ///
 /// # Errors
-/// Returns [`SynthesisError::UnknownFunction`] when `top` does not exist.
+/// Returns [`SynthesisError::UnknownFunction`] when `top` does not exist,
+/// and — with [`FlowOptions::verify_ir`] set — [`SynthesisError::MalformedIr`]
+/// naming the pass after which structural verification first failed.
 pub fn transform_program(
     program: &Program,
     top: &str,
@@ -232,66 +282,91 @@ pub fn transform_program(
         }
     };
     snapshot("input", &working, &mut stages);
+    // Producers (builder-constructed workloads, the frontend, tests poking
+    // the arenas directly) are checked before any pass touches the program:
+    // every function is still present here, so all of them are verified.
+    if options.verify_ir {
+        for function in &working.functions {
+            spark_ir::verify(function).map_err(|errors| SynthesisError::MalformedIr {
+                pass: "input".to_string(),
+                errors,
+            })?;
+        }
+    }
 
     // ---- Source-level and coarse-grain transformations -------------------
     if options.while_to_for {
         let f = working.function_mut(top).expect("top exists");
-        pass_log.push(xf::while_to_for(f));
+        let report = xf::while_to_for(f);
+        record_pass(report, &working, top, options, &mut pass_log)?;
         snapshot("while-to-for", &working, &mut stages);
     }
     if options.inline {
-        pass_log.push(xf::inline_calls(&mut working, top));
+        let report = xf::inline_calls(&mut working, top);
+        record_pass(report, &working, top, options, &mut pass_log)?;
         snapshot("inline", &working, &mut stages);
     }
     if options.speculate {
         let f = working.function_mut(top).expect("top exists");
-        pass_log.push(xf::speculate(f));
+        let report = xf::speculate(f);
+        record_pass(report, &working, top, options, &mut pass_log)?;
         snapshot("speculation", &working, &mut stages);
     }
     if options.unroll {
         let f = working.function_mut(top).expect("top exists");
-        pass_log.push(xf::unroll_all_loops(f));
+        let report = xf::unroll_all_loops(f);
+        record_pass(report, &working, top, options, &mut pass_log)?;
         snapshot("loop-unroll", &working, &mut stages);
     }
     // Speculation opportunities often only appear after unrolling exposes the
     // per-byte conditionals; run it again in the aggressive flow.
     if options.speculate {
         let f = working.function_mut(top).expect("top exists");
-        pass_log.push(xf::speculate(f));
+        let report = xf::speculate(f);
+        record_pass(report, &working, top, options, &mut pass_log)?;
     }
 
     // ---- Fine-grain clean-up ---------------------------------------------
     {
-        let f = working.function_mut(top).expect("top exists");
         if options.constant_propagation {
-            pass_log.push(xf::constant_propagation(f));
+            let f = working.function_mut(top).expect("top exists");
+            let report = xf::constant_propagation(f);
+            record_pass(report, &working, top, options, &mut pass_log)?;
             snapshot("constant-propagation", &working, &mut stages);
         }
         let f = working.function_mut(top).expect("top exists");
-        pass_log.push(xf::copy_propagation(f));
+        let report = xf::copy_propagation(f);
+        record_pass(report, &working, top, options, &mut pass_log)?;
         if options.cse {
             let f = working.function_mut(top).expect("top exists");
-            pass_log.push(xf::common_subexpression_elimination(f));
+            let report = xf::common_subexpression_elimination(f);
+            record_pass(report, &working, top, options, &mut pass_log)?;
         }
         let f = working.function_mut(top).expect("top exists");
-        pass_log.push(xf::dead_code_elimination(f));
+        let report = xf::dead_code_elimination(f);
+        record_pass(report, &working, top, options, &mut pass_log)?;
         // A second round of constant propagation picks up constants exposed
         // by copy propagation; DCE then removes the dead copies.
-        let f = working.function_mut(top).expect("top exists");
         if options.constant_propagation {
-            pass_log.push(xf::constant_propagation(f));
+            let f = working.function_mut(top).expect("top exists");
+            let report = xf::constant_propagation(f);
+            record_pass(report, &working, top, options, &mut pass_log)?;
         }
         let f = working.function_mut(top).expect("top exists");
-        pass_log.push(xf::copy_propagation(f));
+        let report = xf::copy_propagation(f);
+        record_pass(report, &working, top, options, &mut pass_log)?;
         let f = working.function_mut(top).expect("top exists");
-        pass_log.push(xf::dead_code_elimination(f));
+        let report = xf::dead_code_elimination(f);
+        record_pass(report, &working, top, options, &mut pass_log)?;
         snapshot("cleanup", &working, &mut stages);
     }
     if options.secondary_code_motions {
         let f = working.function_mut(top).expect("top exists");
-        pass_log.push(xf::early_condition_execution(f));
+        let report = xf::early_condition_execution(f);
+        record_pass(report, &working, top, options, &mut pass_log)?;
         let f = working.function_mut(top).expect("top exists");
-        pass_log.push(xf::reverse_speculation(f));
+        let report = xf::reverse_speculation(f);
+        record_pass(report, &working, top, options, &mut pass_log)?;
         snapshot("secondary-code-motions", &working, &mut stages);
     }
 
@@ -369,6 +444,63 @@ pub fn synthesize(
 ) -> Result<SynthesisResult, SynthesisError> {
     let transformed = transform_program(program, top, options)?;
     synthesize_transformed(&transformed, options)
+}
+
+/// Why source-level synthesis failed: either the frontend rejected the text
+/// or the flow itself failed on the lowered program.
+#[derive(Debug)]
+pub enum SourceSynthesisError {
+    /// The SPARK-C frontend reported diagnostics (source order).
+    Frontend(Vec<spark_front::Diagnostic>),
+    /// The coordinated flow failed on the lowered program.
+    Synthesis(SynthesisError),
+}
+
+impl std::fmt::Display for SourceSynthesisError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SourceSynthesisError::Frontend(diags) => {
+                write!(
+                    f,
+                    "{}",
+                    diags
+                        .iter()
+                        .map(|d| d.to_string())
+                        .collect::<Vec<_>>()
+                        .join("\n")
+                )
+            }
+            SourceSynthesisError::Synthesis(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SourceSynthesisError {}
+
+impl From<SynthesisError> for SourceSynthesisError {
+    fn from(e: SynthesisError) -> Self {
+        SourceSynthesisError::Synthesis(e)
+    }
+}
+
+/// Runs the coordinated flow directly on SPARK-C source text, synthesizing
+/// the first function of the file (the conventional top level).
+///
+/// This is the paper's entry point made literal: behavioral C text in,
+/// synthesized design out. Equivalent to [`spark_front::compile`] followed
+/// by [`synthesize`].
+///
+/// # Errors
+/// Returns [`SourceSynthesisError::Frontend`] with source-located
+/// diagnostics when the text does not compile, or
+/// [`SourceSynthesisError::Synthesis`] when the flow fails on the lowered
+/// program.
+pub fn synthesize_source(
+    source: &str,
+    options: &FlowOptions,
+) -> Result<SynthesisResult, SourceSynthesisError> {
+    let compiled = spark_front::compile(source).map_err(SourceSynthesisError::Frontend)?;
+    Ok(synthesize(&compiled.program, &compiled.top, options)?)
 }
 
 #[cfg(test)]
@@ -449,6 +581,62 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, SynthesisError::UnknownFunction(_)));
+    }
+
+    #[test]
+    fn verify_ir_names_the_offending_pass() {
+        // A malformed input program (dangling destination variable) must be
+        // rejected at the named "input" step, not panic downstream.
+        let mut function = spark_ir::Function::new("bad");
+        let bb = function.add_block("BB0");
+        let node = function.add_block_node(bb);
+        let body = function.body;
+        function.region_push(body, node);
+        let ghost = spark_ir::VarId::from_raw(99);
+        function.push_op(
+            bb,
+            spark_ir::OpKind::Copy,
+            Some(ghost),
+            vec![spark_ir::Value::word(1)],
+        );
+        let mut program = Program::new();
+        program.add_function(function);
+        let mut options = FlowOptions::microprocessor_block(100.0);
+        options.verify_ir = true;
+        let err = transform_program(&program, "bad", &options).unwrap_err();
+        match err {
+            SynthesisError::MalformedIr { pass, errors } => {
+                assert_eq!(pass, "input");
+                assert!(!errors.is_empty());
+            }
+            other => panic!("expected MalformedIr, got {other}"),
+        }
+    }
+
+    #[test]
+    fn synthesize_source_compiles_and_synthesizes_text() {
+        let source =
+            "u8 clip(u8 a) {\n  u8 r;\n  if (a > 100) { r = 100; } else { r = a; }\n  return r;\n}";
+        let result = synthesize_source(source, &FlowOptions::microprocessor_block(500.0))
+            .expect("source synthesizes");
+        assert!(result.is_single_cycle());
+        let vhdl = result.vhdl();
+        assert!(vhdl.contains("entity clip is"));
+    }
+
+    #[test]
+    fn synthesize_source_reports_diagnostics() {
+        let err = synthesize_source(
+            "u8 f() { return x; }",
+            &FlowOptions::microprocessor_block(500.0),
+        )
+        .unwrap_err();
+        match err {
+            SourceSynthesisError::Frontend(diags) => {
+                assert!(diags[0].to_string().contains("unknown variable `x`"));
+            }
+            other => panic!("expected frontend diagnostics, got {other}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,449 @@
+//! The SPARK-C abstract syntax tree.
+//!
+//! Every expression node carries a unique [`ExprId`] assigned by the parser;
+//! the semantic pass fills a side table mapping each id to its inferred
+//! [`Type`], which both the HTG lowering and the reference AST evaluator
+//! consult so that intermediate results are truncated identically.
+
+use crate::diag::Span;
+use spark_ir::Type;
+use std::fmt;
+
+/// Index of an expression node, unique within one [`ProgramAst`].
+pub type ExprId = usize;
+
+/// A unary operator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnOp {
+    /// Logical not (`!`), defined on booleans.
+    Not,
+    /// Bitwise complement (`~`) within the operand's width.
+    BitNot,
+}
+
+/// A binary operator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `^`
+    Xor,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&` (non-short-circuit boolean and — this is hardware)
+    LogicAnd,
+    /// `||` (non-short-circuit boolean or)
+    LogicOr,
+}
+
+impl BinOp {
+    /// True for operators that produce a boolean.
+    pub fn is_boolean(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq
+                | BinOp::Ne
+                | BinOp::Lt
+                | BinOp::Le
+                | BinOp::Gt
+                | BinOp::Ge
+                | BinOp::LogicAnd
+                | BinOp::LogicOr
+        )
+    }
+
+    /// Source-level spelling.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::And => "&",
+            BinOp::Or => "|",
+            BinOp::Xor => "^",
+            BinOp::Shl => "<<",
+            BinOp::Shr => ">>",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::LogicAnd => "&&",
+            BinOp::LogicOr => "||",
+        }
+    }
+}
+
+/// An expression node.
+#[derive(Clone, Debug)]
+pub struct Expr {
+    /// Unique id within the program (index into the sema type table).
+    pub id: ExprId,
+    /// Source range of the expression.
+    pub span: Span,
+    /// The expression itself.
+    pub kind: ExprKind,
+}
+
+/// The shape of an expression.
+#[derive(Clone, Debug)]
+pub enum ExprKind {
+    /// An unsigned integer literal (32-bit, like the IR's `Value::word`).
+    Int(u64),
+    /// `true` / `false`.
+    Bool(bool),
+    /// A variable read (scalars; array names may appear only as index bases
+    /// or call arguments).
+    Var(String),
+    /// `!e` or `~e`.
+    Unary {
+        /// The operator.
+        op: UnOp,
+        /// The operand.
+        operand: Box<Expr>,
+    },
+    /// `lhs op rhs`.
+    Binary {
+        /// The operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// `cond ? then_value : else_value` — a hardware multiplexer.
+    Ternary {
+        /// The select condition.
+        cond: Box<Expr>,
+        /// Value when the condition is non-zero.
+        then_value: Box<Expr>,
+        /// Value when the condition is zero.
+        else_value: Box<Expr>,
+    },
+    /// `array[index]`.
+    Index {
+        /// Name of the array variable.
+        array: String,
+        /// Span of the array name.
+        array_span: Span,
+        /// The index expression.
+        index: Box<Expr>,
+    },
+    /// `base[hi:lo]` — bit-field extraction with constant bounds.
+    Slice {
+        /// The scalar being sliced.
+        base: Box<Expr>,
+        /// Most-significant extracted bit (inclusive).
+        hi: u16,
+        /// Least-significant extracted bit (inclusive).
+        lo: u16,
+    },
+    /// `callee(args...)`.
+    Call {
+        /// Name of the called function.
+        callee: String,
+        /// Span of the callee name.
+        callee_span: Span,
+        /// Argument expressions (array arguments must be bare names).
+        args: Vec<Expr>,
+    },
+}
+
+/// How a `for` loop compares its index against the bound.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ForCmp {
+    /// `index <= bound` — maps directly onto the IR's loop semantics.
+    Le,
+    /// `index < bound` — the (constant) bound is lowered as `bound - 1`.
+    Lt,
+}
+
+/// A variable declaration (parameter or local).
+#[derive(Clone, Debug)]
+pub struct Decl {
+    /// Declared name.
+    pub name: String,
+    /// Span of the name.
+    pub name_span: Span,
+    /// Element type (for arrays, the element type).
+    pub ty: Type,
+    /// `Some(len)` for arrays.
+    pub array_len: Option<u32>,
+    /// Declared with the `out` qualifier (a primary output of the block).
+    pub out: bool,
+    /// Optional initializer (locals only).
+    pub init: Option<Expr>,
+}
+
+/// A statement.
+#[derive(Clone, Debug)]
+pub struct Stmt {
+    /// Source range.
+    pub span: Span,
+    /// The statement itself.
+    pub kind: StmtKind,
+}
+
+/// The shape of a statement.
+#[derive(Clone, Debug)]
+pub enum StmtKind {
+    /// A local declaration, optionally initialized.
+    Decl(Decl),
+    /// `target = value;`
+    Assign {
+        /// Destination variable name.
+        target: String,
+        /// Span of the destination name.
+        target_span: Span,
+        /// Assigned value.
+        value: Expr,
+    },
+    /// `array[index] = value;`
+    Store {
+        /// Destination array name.
+        array: String,
+        /// Span of the array name.
+        array_span: Span,
+        /// Element index.
+        index: Expr,
+        /// Stored value.
+        value: Expr,
+    },
+    /// `if (cond) { ... } else { ... }`
+    If {
+        /// The branch condition.
+        cond: Expr,
+        /// Then-branch body.
+        then_body: Vec<Stmt>,
+        /// Else-branch body (empty when absent).
+        else_body: Vec<Stmt>,
+    },
+    /// `while (cond) bound(n) { ... }`
+    While {
+        /// The loop condition.
+        cond: Expr,
+        /// Designer-supplied trip bound, needed to unroll `while (1)`.
+        bound: Option<u64>,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `for (i = start; i <= end; i = i + step) { ... }`
+    For {
+        /// Loop index variable name.
+        index: String,
+        /// Span of the index name.
+        index_span: Span,
+        /// Constant start value.
+        start: u64,
+        /// `<=` or `<`.
+        cmp: ForCmp,
+        /// Bound expression.
+        end: Box<Expr>,
+        /// Constant positive step.
+        step: u64,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `return value;`
+    Return {
+        /// Returned value.
+        value: Expr,
+    },
+    /// A call evaluated for its side effects: `f(a, b);`
+    CallStmt {
+        /// The call expression (always `ExprKind::Call`).
+        call: Expr,
+    },
+}
+
+/// A function definition.
+#[derive(Clone, Debug)]
+pub struct FunctionAst {
+    /// Function name.
+    pub name: String,
+    /// Span of the name.
+    pub name_span: Span,
+    /// Declared return type; `None` for `void`.
+    pub ret: Option<Type>,
+    /// Parameters in declaration order (`out` parameters become primary
+    /// outputs rather than inputs).
+    pub params: Vec<Decl>,
+    /// Statements of the body.
+    pub body: Vec<Stmt>,
+}
+
+/// A whole parsed source file.
+#[derive(Clone, Debug, Default)]
+pub struct ProgramAst {
+    /// Functions in source order (the first is the default top level).
+    pub functions: Vec<FunctionAst>,
+    /// Total number of expression ids handed out by the parser.
+    pub expr_count: usize,
+}
+
+// ---------------------------------------------------------------------------
+// Pretty-printing (the `sparkc --dump-ast` output)
+// ---------------------------------------------------------------------------
+
+fn fmt_type(ty: Type) -> String {
+    match ty {
+        Type::Bool => "bool".to_string(),
+        Type::Bits(32) => "int".to_string(),
+        Type::Bits(w) => format!("u{w}"),
+    }
+}
+
+fn fmt_decl(d: &Decl) -> String {
+    let out = if d.out { "out " } else { "" };
+    match d.array_len {
+        Some(len) => format!("{out}{} {}[{len}]", fmt_type(d.ty), d.name),
+        None => format!("{out}{} {}", fmt_type(d.ty), d.name),
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            ExprKind::Int(v) => write!(f, "{v}"),
+            ExprKind::Bool(b) => write!(f, "{b}"),
+            ExprKind::Var(name) => write!(f, "{name}"),
+            ExprKind::Unary { op, operand } => {
+                let symbol = match op {
+                    UnOp::Not => "!",
+                    UnOp::BitNot => "~",
+                };
+                write!(f, "{symbol}{operand}")
+            }
+            ExprKind::Binary { op, lhs, rhs } => {
+                write!(f, "({lhs} {} {rhs})", op.symbol())
+            }
+            ExprKind::Ternary {
+                cond,
+                then_value,
+                else_value,
+            } => write!(f, "({cond} ? {then_value} : {else_value})"),
+            ExprKind::Index { array, index, .. } => write!(f, "{array}[{index}]"),
+            ExprKind::Slice { base, hi, lo } => write!(f, "{base}[{hi}:{lo}]"),
+            ExprKind::Call { callee, args, .. } => {
+                let rendered: Vec<String> = args.iter().map(|a| a.to_string()).collect();
+                write!(f, "{callee}({})", rendered.join(", "))
+            }
+        }
+    }
+}
+
+fn fmt_stmts(f: &mut fmt::Formatter<'_>, stmts: &[Stmt], indent: usize) -> fmt::Result {
+    let pad = "  ".repeat(indent);
+    for stmt in stmts {
+        match &stmt.kind {
+            StmtKind::Decl(d) => {
+                write!(f, "{pad}{}", fmt_decl(d))?;
+                if let Some(init) = &d.init {
+                    write!(f, " = {init}")?;
+                }
+                writeln!(f, ";")?;
+            }
+            StmtKind::Assign { target, value, .. } => writeln!(f, "{pad}{target} = {value};")?,
+            StmtKind::Store {
+                array,
+                index,
+                value,
+                ..
+            } => writeln!(f, "{pad}{array}[{index}] = {value};")?,
+            StmtKind::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                writeln!(f, "{pad}if ({cond}) {{")?;
+                fmt_stmts(f, then_body, indent + 1)?;
+                if else_body.is_empty() {
+                    writeln!(f, "{pad}}}")?;
+                } else {
+                    writeln!(f, "{pad}}} else {{")?;
+                    fmt_stmts(f, else_body, indent + 1)?;
+                    writeln!(f, "{pad}}}")?;
+                }
+            }
+            StmtKind::While { cond, bound, body } => {
+                match bound {
+                    Some(bound) => writeln!(f, "{pad}while ({cond}) bound({bound}) {{")?,
+                    None => writeln!(f, "{pad}while ({cond}) {{")?,
+                }
+                fmt_stmts(f, body, indent + 1)?;
+                writeln!(f, "{pad}}}")?;
+            }
+            StmtKind::For {
+                index,
+                start,
+                cmp,
+                end,
+                step,
+                body,
+                ..
+            } => {
+                let cmp = match cmp {
+                    ForCmp::Le => "<=",
+                    ForCmp::Lt => "<",
+                };
+                writeln!(
+                    f,
+                    "{pad}for ({index} = {start}; {index} {cmp} {end}; {index} = {index} + {step}) {{"
+                )?;
+                fmt_stmts(f, body, indent + 1)?;
+                writeln!(f, "{pad}}}")?;
+            }
+            StmtKind::Return { value } => writeln!(f, "{pad}return {value};")?,
+            StmtKind::CallStmt { call } => writeln!(f, "{pad}{call};")?,
+        }
+    }
+    Ok(())
+}
+
+impl fmt::Display for FunctionAst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ret = match self.ret {
+            Some(ty) => fmt_type(ty),
+            None => "void".to_string(),
+        };
+        let params: Vec<String> = self.params.iter().map(fmt_decl).collect();
+        writeln!(f, "{ret} {}({}) {{", self.name, params.join(", "))?;
+        fmt_stmts(f, &self.body, 1)?;
+        writeln!(f, "}}")
+    }
+}
+
+impl fmt::Display for ProgramAst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, function) in self.functions.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{function}")?;
+        }
+        Ok(())
+    }
+}

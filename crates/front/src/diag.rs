@@ -1,0 +1,151 @@
+//! Source spans and diagnostics.
+//!
+//! Every token, AST node and semantic error carries a [`Span`] of byte
+//! offsets into the original source. Diagnostics resolve their span to a
+//! 1-based `line:col` location eagerly (through [`LineMap`]) so they stay
+//! meaningful after the source text is dropped, and render in the familiar
+//! compiler shape `line:col: error: message`.
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into the source text.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: u32,
+    /// Byte offset one past the last character.
+    pub end: u32,
+}
+
+impl Span {
+    /// Creates a span from byte offsets.
+    pub fn new(start: u32, end: u32) -> Self {
+        Span { start, end }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+}
+
+/// Maps byte offsets to 1-based line/column positions.
+#[derive(Clone, Debug)]
+pub struct LineMap {
+    /// Byte offset at which each line starts; `line_starts[0] == 0`.
+    line_starts: Vec<u32>,
+}
+
+impl LineMap {
+    /// Builds the map for one source text.
+    pub fn new(source: &str) -> Self {
+        let mut line_starts = vec![0u32];
+        for (offset, byte) in source.bytes().enumerate() {
+            if byte == b'\n' {
+                line_starts.push(offset as u32 + 1);
+            }
+        }
+        LineMap { line_starts }
+    }
+
+    /// The 1-based `(line, column)` of a byte offset.
+    pub fn line_col(&self, offset: u32) -> (u32, u32) {
+        let line = match self.line_starts.binary_search(&offset) {
+            Ok(exact) => exact,
+            Err(insert) => insert - 1,
+        };
+        let col = offset - self.line_starts[line] + 1;
+        (line as u32 + 1, col)
+    }
+}
+
+/// A source-located error produced by the lexer, parser or semantic checker.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Human-readable description of the problem.
+    pub message: String,
+    /// The offending source range.
+    pub span: Span,
+    /// 1-based source line of `span.start`.
+    pub line: u32,
+    /// 1-based source column of `span.start`.
+    pub col: u32,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: error: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for Diagnostic {}
+
+/// Collects diagnostics, resolving spans to line/column eagerly.
+#[derive(Debug)]
+pub struct DiagSink {
+    line_map: LineMap,
+    diags: Vec<Diagnostic>,
+}
+
+impl DiagSink {
+    /// Creates a sink for one source text.
+    pub fn new(source: &str) -> Self {
+        DiagSink {
+            line_map: LineMap::new(source),
+            diags: Vec::new(),
+        }
+    }
+
+    /// Records an error at `span`.
+    pub fn error(&mut self, span: Span, message: impl Into<String>) {
+        let (line, col) = self.line_map.line_col(span.start);
+        self.diags.push(Diagnostic {
+            message: message.into(),
+            span,
+            line,
+            col,
+        });
+    }
+
+    /// True when no errors have been recorded.
+    pub fn is_clean(&self) -> bool {
+        self.diags.is_empty()
+    }
+
+    /// Consumes the sink, yielding the recorded diagnostics.
+    pub fn into_diagnostics(self) -> Vec<Diagnostic> {
+        self.diags
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_map_resolves_lines_and_columns() {
+        let map = LineMap::new("ab\ncde\n\nf");
+        assert_eq!(map.line_col(0), (1, 1));
+        assert_eq!(map.line_col(1), (1, 2));
+        assert_eq!(map.line_col(3), (2, 1));
+        assert_eq!(map.line_col(5), (2, 3));
+        assert_eq!(map.line_col(7), (3, 1));
+        assert_eq!(map.line_col(8), (4, 1));
+    }
+
+    #[test]
+    fn diagnostics_render_line_col() {
+        let mut sink = DiagSink::new("int f() {\n  x = 1;\n}");
+        sink.error(Span::new(12, 13), "unknown variable `x`");
+        let diags = sink.into_diagnostics();
+        assert_eq!(diags[0].to_string(), "2:3: error: unknown variable `x`");
+    }
+
+    #[test]
+    fn span_union() {
+        assert_eq!(Span::new(3, 5).to(Span::new(1, 4)), Span::new(1, 5));
+    }
+}

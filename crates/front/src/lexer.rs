@@ -1,0 +1,306 @@
+//! Hand-written lexer for SPARK-C.
+//!
+//! Whitespace, `//` line comments and `/* ... */` block comments are
+//! skipped. Unknown characters and malformed literals are reported through
+//! the shared [`DiagSink`] and skipped, so the parser always receives a
+//! well-formed (if possibly truncated) token stream ending in `Eof`.
+
+use crate::diag::{DiagSink, Span};
+use crate::token::{Token, TokenKind};
+
+/// Tokenizes `source`, reporting lexical errors into `sink`.
+pub fn lex(source: &str, sink: &mut DiagSink) -> Vec<Token> {
+    Lexer {
+        bytes: source.as_bytes(),
+        pos: 0,
+        sink,
+    }
+    .run()
+}
+
+struct Lexer<'a, 'd> {
+    bytes: &'a [u8],
+    pos: usize,
+    sink: &'d mut DiagSink,
+}
+
+impl Lexer<'_, '_> {
+    fn run(mut self) -> Vec<Token> {
+        let mut tokens = Vec::new();
+        loop {
+            self.skip_trivia();
+            let start = self.pos;
+            let Some(byte) = self.peek() else {
+                tokens.push(Token {
+                    kind: TokenKind::Eof,
+                    span: Span::new(start as u32, start as u32),
+                });
+                return tokens;
+            };
+            let kind = match byte {
+                b'0'..=b'9' => self.number(),
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => Some(self.ident_or_keyword()),
+                _ => self.punct(),
+            };
+            if let Some(kind) = kind {
+                tokens.push(Token {
+                    kind,
+                    span: Span::new(start as u32, self.pos as u32),
+                });
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.bytes.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let byte = self.peek();
+        if byte.is_some() {
+            self.pos += 1;
+        }
+        byte
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(b) if b.is_ascii_whitespace() => {
+                    self.pos += 1;
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(b) = self.peek() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let start = self.pos;
+                    self.pos += 2;
+                    loop {
+                        match self.peek() {
+                            Some(b'*') if self.peek2() == Some(b'/') => {
+                                self.pos += 2;
+                                break;
+                            }
+                            Some(_) => self.pos += 1,
+                            None => {
+                                self.sink.error(
+                                    Span::new(start as u32, self.pos as u32),
+                                    "unterminated block comment",
+                                );
+                                break;
+                            }
+                        }
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn number(&mut self) -> Option<TokenKind> {
+        let start = self.pos;
+        let hex = self.peek() == Some(b'0') && matches!(self.peek2(), Some(b'x') | Some(b'X'));
+        if hex {
+            self.pos += 2;
+        }
+        while let Some(b) = self.peek() {
+            if b.is_ascii_alphanumeric() || b == b'_' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text: String = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("source slices at ascii boundaries")
+            .replace('_', "");
+        let span = Span::new(start as u32, self.pos as u32);
+        let parsed = if hex {
+            u64::from_str_radix(&text[2..], 16)
+        } else {
+            text.parse::<u64>()
+        };
+        match parsed {
+            Ok(value) => Some(TokenKind::Int(value)),
+            Err(_) => {
+                self.sink
+                    .error(span, format!("malformed integer literal `{text}`"));
+                None
+            }
+        }
+    }
+
+    fn ident_or_keyword(&mut self) -> TokenKind {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_alphanumeric() || b == b'_' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("source slices at ascii boundaries");
+        match text {
+            "int" => TokenKind::KwInt,
+            "bool" => TokenKind::KwBool,
+            "void" => TokenKind::KwVoid,
+            "if" => TokenKind::KwIf,
+            "else" => TokenKind::KwElse,
+            "while" => TokenKind::KwWhile,
+            "for" => TokenKind::KwFor,
+            "return" => TokenKind::KwReturn,
+            "true" => TokenKind::KwTrue,
+            "false" => TokenKind::KwFalse,
+            "out" => TokenKind::KwOut,
+            "bound" => TokenKind::KwBound,
+            _ => TokenKind::Ident(text.to_string()),
+        }
+    }
+
+    fn punct(&mut self) -> Option<TokenKind> {
+        let start = self.pos;
+        let byte = self.bump().expect("caller checked non-empty");
+        let two = |lexer: &mut Self, kind| {
+            lexer.pos += 1;
+            Some(kind)
+        };
+        match byte {
+            b'(' => Some(TokenKind::LParen),
+            b')' => Some(TokenKind::RParen),
+            b'{' => Some(TokenKind::LBrace),
+            b'}' => Some(TokenKind::RBrace),
+            b'[' => Some(TokenKind::LBracket),
+            b']' => Some(TokenKind::RBracket),
+            b',' => Some(TokenKind::Comma),
+            b';' => Some(TokenKind::Semi),
+            b':' => Some(TokenKind::Colon),
+            b'?' => Some(TokenKind::Question),
+            b'+' if self.peek() == Some(b'+') => two(self, TokenKind::PlusPlus),
+            b'+' => Some(TokenKind::Plus),
+            b'-' => Some(TokenKind::Minus),
+            b'*' => Some(TokenKind::Star),
+            b'&' if self.peek() == Some(b'&') => two(self, TokenKind::AndAnd),
+            b'&' => Some(TokenKind::Amp),
+            b'|' if self.peek() == Some(b'|') => two(self, TokenKind::OrOr),
+            b'|' => Some(TokenKind::Pipe),
+            b'^' => Some(TokenKind::Caret),
+            b'~' => Some(TokenKind::Tilde),
+            b'!' if self.peek() == Some(b'=') => two(self, TokenKind::Ne),
+            b'!' => Some(TokenKind::Bang),
+            b'<' if self.peek() == Some(b'<') => two(self, TokenKind::Shl),
+            b'<' if self.peek() == Some(b'=') => two(self, TokenKind::Le),
+            b'<' => Some(TokenKind::Lt),
+            b'>' if self.peek() == Some(b'>') => two(self, TokenKind::Shr),
+            b'>' if self.peek() == Some(b'=') => two(self, TokenKind::Ge),
+            b'>' => Some(TokenKind::Gt),
+            b'=' if self.peek() == Some(b'=') => two(self, TokenKind::EqEq),
+            b'=' => Some(TokenKind::Assign),
+            other => {
+                self.sink.error(
+                    Span::new(start as u32, self.pos as u32),
+                    format!("unexpected character `{}`", other as char),
+                );
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(source: &str) -> Vec<TokenKind> {
+        let mut sink = DiagSink::new(source);
+        let tokens = lex(source, &mut sink);
+        assert!(sink.is_clean(), "{:?}", sink.into_diagnostics());
+        tokens.into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_declaration() {
+        assert_eq!(
+            kinds("u8 x = 0x1F;"),
+            vec![
+                TokenKind::Ident("u8".into()),
+                TokenKind::Ident("x".into()),
+                TokenKind::Assign,
+                TokenKind::Int(0x1F),
+                TokenKind::Semi,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_two_char_operators() {
+        assert_eq!(
+            kinds("<= >= == != << >> && || ++"),
+            vec![
+                TokenKind::Le,
+                TokenKind::Ge,
+                TokenKind::EqEq,
+                TokenKind::Ne,
+                TokenKind::Shl,
+                TokenKind::Shr,
+                TokenKind::AndAnd,
+                TokenKind::OrOr,
+                TokenKind::PlusPlus,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments() {
+        assert_eq!(
+            kinds("a // line\n /* block\n still */ b"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_are_recognized() {
+        assert_eq!(
+            kinds("if else while for return true false out bound int bool void"),
+            vec![
+                TokenKind::KwIf,
+                TokenKind::KwElse,
+                TokenKind::KwWhile,
+                TokenKind::KwFor,
+                TokenKind::KwReturn,
+                TokenKind::KwTrue,
+                TokenKind::KwFalse,
+                TokenKind::KwOut,
+                TokenKind::KwBound,
+                TokenKind::KwInt,
+                TokenKind::KwBool,
+                TokenKind::KwVoid,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn reports_unknown_character_with_position() {
+        let source = "a\n  @";
+        let mut sink = DiagSink::new(source);
+        let _ = lex(source, &mut sink);
+        let diags = sink.into_diagnostics();
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].to_string(), "2:3: error: unexpected character `@`");
+    }
+}

@@ -1,0 +1,788 @@
+//! Semantic analysis of SPARK-C programs.
+//!
+//! Checks names (duplicate declarations, undeclared uses), kinds (array vs
+//! scalar misuse), call signatures (arity, argument kinds, recursion) and
+//! constant array bounds, and infers a [`Type`] for every expression node.
+//! The inferred types drive both the HTG lowering (temporary widths) and the
+//! reference AST evaluator (intermediate truncation), so the two agree bit
+//! for bit with the IR interpreter.
+//!
+//! Type discipline is deliberately C-like and permissive: everything is an
+//! unsigned bit-vector, assignments truncate to the destination width, and
+//! any scalar may be used as a condition (non-zero is true). The inference
+//! rule for arithmetic mirrors what a designer would write with the
+//! [`FunctionBuilder`](spark_ir::FunctionBuilder): an integer literal adopts
+//! the width of the other operand, otherwise the result takes the wider
+//! operand's width.
+
+use std::collections::BTreeMap;
+
+use crate::ast::{
+    BinOp, Decl, Expr, ExprKind, ForCmp, FunctionAst, ProgramAst, Stmt, StmtKind, UnOp,
+};
+use crate::diag::{DiagSink, Diagnostic, Span};
+use spark_ir::Type;
+
+/// What a name refers to inside one function.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Symbol {
+    /// A scalar variable of the given type.
+    Scalar(Type),
+    /// An array of `len` elements of the given element type.
+    Array(Type, u32),
+}
+
+/// A callee signature visible to every function.
+#[derive(Clone, Debug)]
+struct Signature {
+    params: Vec<Symbol>,
+    /// `out` flags per parameter (outputs are not writable call inputs).
+    outs: Vec<bool>,
+    ret: Option<Type>,
+}
+
+/// The result of semantic analysis: per-expression inferred types.
+#[derive(Clone, Debug, Default)]
+pub struct Analysis {
+    /// Inferred type of each expression node, indexed by
+    /// [`ExprId`](crate::ast::ExprId). Array-name expressions (legal only as
+    /// index bases and call arguments) carry their element type.
+    pub expr_types: Vec<Type>,
+}
+
+impl Analysis {
+    /// The inferred type of an expression.
+    pub fn type_of(&self, expr: &Expr) -> Type {
+        self.expr_types[expr.id]
+    }
+}
+
+/// Analyzes a parsed program, resolving diagnostic positions against
+/// `source` (the text the program was parsed from).
+///
+/// # Errors
+/// Returns every semantic diagnostic found, with `line:col` positions.
+pub fn analyze_with_source(
+    program: &ProgramAst,
+    source: &str,
+) -> Result<Analysis, Vec<Diagnostic>> {
+    let mut sink = DiagSink::new(source);
+    let mut analysis = Analysis {
+        expr_types: vec![Type::Bits(32); program.expr_count],
+    };
+
+    // Pass 1: collect signatures (calls may reference later functions).
+    let mut signatures: BTreeMap<String, Signature> = BTreeMap::new();
+    for function in &program.functions {
+        if signatures.contains_key(&function.name) {
+            sink.error(
+                function.name_span,
+                format!("duplicate function `{}`", function.name),
+            );
+            continue;
+        }
+        let params = function
+            .params
+            .iter()
+            .map(|p| match p.array_len {
+                Some(len) => Symbol::Array(p.ty, len),
+                None => Symbol::Scalar(p.ty),
+            })
+            .collect();
+        let outs = function.params.iter().map(|p| p.out).collect();
+        signatures.insert(
+            function.name.clone(),
+            Signature {
+                params,
+                outs,
+                ret: function.ret,
+            },
+        );
+    }
+
+    // Pass 2: check each function body.
+    for function in &program.functions {
+        let mut checker = Checker {
+            sink: &mut sink,
+            signatures: &signatures,
+            analysis: &mut analysis,
+            scope: BTreeMap::new(),
+            function,
+        };
+        checker.check_function();
+    }
+
+    // Pass 3: reject recursion (the inliner would loop on it).
+    check_recursion(program, &mut sink);
+
+    if sink.is_clean() {
+        Ok(analysis)
+    } else {
+        Err(sink.into_diagnostics())
+    }
+}
+
+struct Checker<'a> {
+    sink: &'a mut DiagSink,
+    signatures: &'a BTreeMap<String, Signature>,
+    analysis: &'a mut Analysis,
+    /// Function-level scope (C90-style: one namespace per function).
+    scope: BTreeMap<String, Symbol>,
+    function: &'a FunctionAst,
+}
+
+impl Checker<'_> {
+    fn check_function(&mut self) {
+        for param in &self.function.params {
+            self.declare(param);
+            if param.init.is_some() {
+                self.sink
+                    .error(param.name_span, "parameters cannot have initializers");
+            }
+        }
+        // Pre-declare nothing else: locals must be declared before use, which
+        // the statement walk enforces in order.
+        let body = &self.function.body;
+        self.check_stmts(body);
+    }
+
+    fn declare(&mut self, decl: &Decl) {
+        if is_reserved_temp_name(&decl.name) {
+            self.sink.error(
+                decl.name_span,
+                format!(
+                    "`{}` is reserved for compiler-generated temporaries (t_<N>)",
+                    decl.name
+                ),
+            );
+            return;
+        }
+        if self.scope.contains_key(&decl.name) {
+            self.sink.error(
+                decl.name_span,
+                format!("duplicate declaration of `{}`", decl.name),
+            );
+            return;
+        }
+        let symbol = match decl.array_len {
+            Some(len) => Symbol::Array(decl.ty, len),
+            None => Symbol::Scalar(decl.ty),
+        };
+        self.scope.insert(decl.name.clone(), symbol);
+    }
+
+    fn lookup(&mut self, name: &str, span: Span) -> Option<Symbol> {
+        match self.scope.get(name) {
+            Some(symbol) => Some(*symbol),
+            None => {
+                self.sink.error(span, format!("unknown variable `{name}`"));
+                None
+            }
+        }
+    }
+
+    fn check_stmts(&mut self, stmts: &[Stmt]) {
+        for stmt in stmts {
+            self.check_stmt(stmt);
+        }
+    }
+
+    fn check_stmt(&mut self, stmt: &Stmt) {
+        match &stmt.kind {
+            StmtKind::Decl(decl) => {
+                self.declare(decl);
+                if let Some(init) = &decl.init {
+                    self.check_scalar_expr(init);
+                }
+            }
+            StmtKind::Assign {
+                target,
+                target_span,
+                value,
+            } => {
+                match self.lookup(target, *target_span) {
+                    Some(Symbol::Scalar(_)) | None => {}
+                    Some(Symbol::Array(..)) => self.sink.error(
+                        *target_span,
+                        format!("cannot assign to array `{target}` without an index"),
+                    ),
+                }
+                self.check_scalar_expr(value);
+            }
+            StmtKind::Store {
+                array,
+                array_span,
+                index,
+                value,
+            } => {
+                let length = match self.lookup(array, *array_span) {
+                    Some(Symbol::Array(_, len)) => Some(len),
+                    Some(Symbol::Scalar(_)) => {
+                        self.sink
+                            .error(*array_span, format!("`{array}` is not an array"));
+                        None
+                    }
+                    None => None,
+                };
+                self.check_scalar_expr(index);
+                self.check_const_index(index, length);
+                self.check_scalar_expr(value);
+            }
+            StmtKind::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                self.check_scalar_expr(cond);
+                self.check_stmts(then_body);
+                self.check_stmts(else_body);
+            }
+            StmtKind::While { cond, body, .. } => {
+                self.check_scalar_expr(cond);
+                self.check_stmts(body);
+            }
+            StmtKind::For {
+                index,
+                index_span,
+                start,
+                cmp,
+                end,
+                body,
+                ..
+            } => {
+                match self.lookup(index, *index_span) {
+                    Some(Symbol::Scalar(ty)) if *start > ty.mask() => {
+                        self.sink.error(
+                            *index_span,
+                            format!("for-loop start {start} does not fit index `{index}` ({ty})"),
+                        );
+                    }
+                    Some(Symbol::Scalar(_)) => {}
+                    Some(Symbol::Array(..)) => self.sink.error(
+                        *index_span,
+                        format!("for-loop index `{index}` must be a scalar"),
+                    ),
+                    None => {}
+                }
+                self.check_scalar_expr(end);
+                if *cmp == ForCmp::Lt {
+                    match end.kind {
+                        ExprKind::Int(value) if value >= 1 => {}
+                        ExprKind::Int(_) => self
+                            .sink
+                            .error(end.span, "`<` bound must be at least 1 (the loop maps to `<= bound - 1`)"),
+                        _ => self.sink.error(
+                            end.span,
+                            "`<` for-loop bounds must be integer literals; use `<=` for variable bounds",
+                        ),
+                    }
+                }
+                self.check_stmts(body);
+            }
+            StmtKind::Return { value } => match self.function.ret {
+                Some(_) => {
+                    self.check_scalar_expr(value);
+                }
+                None => self
+                    .sink
+                    .error(stmt.span, "`return` with a value in a void function"),
+            },
+            StmtKind::CallStmt { call } => {
+                // Statement position: void callees are fine here, so bypass
+                // the value-context check in `check_expr`.
+                if let ExprKind::Call {
+                    callee,
+                    callee_span,
+                    args,
+                } = &call.kind
+                {
+                    let ty = self.check_call(callee, *callee_span, args);
+                    self.analysis.expr_types[call.id] = ty;
+                } else {
+                    self.check_expr(call);
+                }
+            }
+        }
+    }
+
+    /// Checks an expression that must produce a scalar value.
+    fn check_scalar_expr(&mut self, expr: &Expr) -> Type {
+        let ty = self.check_expr(expr);
+        if let ExprKind::Var(name) = &expr.kind {
+            if let Some(Symbol::Array(..)) = self.scope.get(name.as_str()) {
+                self.sink.error(
+                    expr.span,
+                    format!(
+                        "array `{name}` used as a scalar value (index it or pass it to a call)"
+                    ),
+                );
+            }
+        }
+        ty
+    }
+
+    /// Infers and records the type of `expr`, checking its children.
+    fn check_expr(&mut self, expr: &Expr) -> Type {
+        let ty = match &expr.kind {
+            ExprKind::Int(_) => Type::Bits(32),
+            ExprKind::Bool(_) => Type::Bool,
+            ExprKind::Var(name) => match self.lookup(name, expr.span) {
+                Some(Symbol::Scalar(ty)) => ty,
+                // Element type; scalar misuse is reported by callers that
+                // require scalars.
+                Some(Symbol::Array(ty, _)) => ty,
+                None => Type::Bits(32),
+            },
+            ExprKind::Unary { op, operand } => {
+                let operand_ty = self.check_scalar_expr(operand);
+                match op {
+                    UnOp::Not => {
+                        if !operand_ty.is_bool() && !is_comparison(operand) {
+                            self.sink.error(
+                                expr.span,
+                                "`!` requires a boolean operand (use `~` for bitwise complement)",
+                            );
+                        }
+                        Type::Bool
+                    }
+                    UnOp::BitNot => operand_ty,
+                }
+            }
+            ExprKind::Binary { op, lhs, rhs } => {
+                let lhs_ty = self.check_scalar_expr(lhs);
+                let rhs_ty = self.check_scalar_expr(rhs);
+                match op {
+                    BinOp::LogicAnd | BinOp::LogicOr => {
+                        for (side, ty) in [(lhs, lhs_ty), (rhs, rhs_ty)] {
+                            if !ty.is_bool() {
+                                self.sink.error(
+                                    side.span,
+                                    format!(
+                                        "`{}` requires boolean operands (compare against 0 first)",
+                                        op.symbol()
+                                    ),
+                                );
+                            }
+                        }
+                        Type::Bool
+                    }
+                    _ if op.is_boolean() => Type::Bool,
+                    BinOp::Shl | BinOp::Shr => lhs_ty,
+                    _ => join_types(lhs, lhs_ty, rhs, rhs_ty),
+                }
+            }
+            ExprKind::Ternary {
+                cond,
+                then_value,
+                else_value,
+            } => {
+                self.check_scalar_expr(cond);
+                let then_ty = self.check_scalar_expr(then_value);
+                let else_ty = self.check_scalar_expr(else_value);
+                join_types(then_value, then_ty, else_value, else_ty)
+            }
+            ExprKind::Index {
+                array,
+                array_span,
+                index,
+            } => {
+                let (elem_ty, length) = match self.lookup(array, *array_span) {
+                    Some(Symbol::Array(ty, len)) => (ty, Some(len)),
+                    Some(Symbol::Scalar(_)) => {
+                        self.sink
+                            .error(*array_span, format!("`{array}` is not an array"));
+                        (Type::Bits(32), None)
+                    }
+                    None => (Type::Bits(32), None),
+                };
+                self.check_scalar_expr(index);
+                self.check_const_index(index, length);
+                elem_ty
+            }
+            ExprKind::Slice { base, hi, lo } => {
+                let base_ty = self.check_scalar_expr(base);
+                if hi < lo {
+                    self.sink.error(
+                        expr.span,
+                        format!("slice bounds reversed: [{hi}:{lo}] needs hi >= lo"),
+                    );
+                } else if *hi >= base_ty.width() {
+                    self.sink.error(
+                        expr.span,
+                        format!(
+                            "slice bit {hi} out of range for a {}-bit value",
+                            base_ty.width()
+                        ),
+                    );
+                }
+                let width = hi.saturating_sub(*lo) + 1;
+                if width == 1 {
+                    Type::Bool
+                } else {
+                    Type::Bits(width)
+                }
+            }
+            ExprKind::Call {
+                callee,
+                callee_span,
+                args,
+            } => {
+                let ty = self.check_call(callee, *callee_span, args);
+                if let Some(signature) = self.signatures.get(callee.as_str()) {
+                    if signature.ret.is_none() {
+                        self.sink.error(
+                            expr.span,
+                            format!("call to void function `{callee}` used as a value"),
+                        );
+                    }
+                }
+                ty
+            }
+        };
+        self.analysis.expr_types[expr.id] = ty;
+        ty
+    }
+
+    fn check_call(&mut self, callee: &str, callee_span: Span, args: &[Expr]) -> Type {
+        let Some(signature) = self.signatures.get(callee).cloned() else {
+            self.sink
+                .error(callee_span, format!("unknown function `{callee}`"));
+            for arg in args {
+                self.check_expr(arg);
+            }
+            return Type::Bits(32);
+        };
+        if args.len() != signature.params.len() {
+            self.sink.error(
+                callee_span,
+                format!(
+                    "`{callee}` expects {} argument(s), found {}",
+                    signature.params.len(),
+                    args.len()
+                ),
+            );
+        }
+        for (position, arg) in args.iter().enumerate() {
+            match signature.params.get(position) {
+                Some(Symbol::Array(elem_ty, len)) => {
+                    // Array arguments must be bare array names of matching
+                    // shape (the IR passes arrays by reference-to-copy).
+                    match &arg.kind {
+                        ExprKind::Var(name) => match self.lookup(name, arg.span) {
+                            Some(Symbol::Array(arg_ty, arg_len))
+                                if arg_ty != *elem_ty || arg_len != *len =>
+                            {
+                                self.sink.error(
+                                    arg.span,
+                                    format!(
+                                        "array argument `{name}` has shape {arg_ty}[{arg_len}], `{callee}` expects {elem_ty}[{len}]"
+                                    ),
+                                );
+                            }
+                            Some(Symbol::Array(..)) => {}
+                            Some(Symbol::Scalar(_)) => self.sink.error(
+                                arg.span,
+                                format!("`{callee}` expects an array here, `{name}` is a scalar"),
+                            ),
+                            None => {}
+                        },
+                        _ => self.sink.error(
+                            arg.span,
+                            format!("array parameters of `{callee}` take a bare array name"),
+                        ),
+                    }
+                    self.check_expr(arg);
+                }
+                Some(Symbol::Scalar(_)) | None => {
+                    self.check_scalar_expr(arg);
+                }
+            }
+            if signature.outs.get(position).copied().unwrap_or(false) {
+                self.sink.error(
+                    arg.span,
+                    format!("parameter {position} of `{callee}` is an output; calls cannot bind outputs"),
+                );
+            }
+        }
+        match signature.ret {
+            Some(ty) => ty,
+            None => {
+                // A void call used in expression position is caught by the
+                // parser for statements and here for expressions; callers of
+                // check_expr treat the placeholder as 32-bit.
+                Type::Bits(32)
+            }
+        }
+    }
+
+    /// Bounds-checks constant indices against the array length.
+    fn check_const_index(&mut self, index: &Expr, length: Option<u32>) {
+        if let (ExprKind::Int(value), Some(length)) = (&index.kind, length) {
+            if *value >= length as u64 {
+                self.sink.error(
+                    index.span,
+                    format!("index {value} out of bounds for array of length {length}"),
+                );
+            }
+        }
+    }
+}
+
+/// The width-join rule for arithmetic: literals adopt the other operand's
+/// type; otherwise the wider operand wins (ties keep the left type).
+fn join_types(lhs: &Expr, lhs_ty: Type, rhs: &Expr, rhs_ty: Type) -> Type {
+    let lhs_literal = matches!(lhs.kind, ExprKind::Int(_));
+    let rhs_literal = matches!(rhs.kind, ExprKind::Int(_));
+    match (lhs_literal, rhs_literal) {
+        (true, false) => rhs_ty,
+        (false, true) => lhs_ty,
+        _ => {
+            if rhs_ty.width() > lhs_ty.width() {
+                rhs_ty
+            } else {
+                lhs_ty
+            }
+        }
+    }
+}
+
+/// True for `t_<digits>` — the namespace `fresh_temp("t", ..)` draws from.
+/// User variables there would collide with lowering temporaries, and the
+/// interpreter's name-keyed [`Outcome`](spark_ir::Outcome) would then merge
+/// the two.
+fn is_reserved_temp_name(name: &str) -> bool {
+    name.strip_prefix("t_")
+        .is_some_and(|rest| !rest.is_empty() && rest.bytes().all(|b| b.is_ascii_digit()))
+}
+
+fn is_comparison(expr: &Expr) -> bool {
+    matches!(&expr.kind, ExprKind::Binary { op, .. } if op.is_boolean())
+}
+
+/// Rejects call cycles: the coordinated flow inlines every call, which only
+/// terminates on a DAG of functions.
+fn check_recursion(program: &ProgramAst, sink: &mut DiagSink) {
+    fn calls_of(stmts: &[Stmt], out: &mut Vec<(String, Span)>) {
+        fn expr_calls(expr: &Expr, out: &mut Vec<(String, Span)>) {
+            match &expr.kind {
+                ExprKind::Call {
+                    callee,
+                    callee_span,
+                    args,
+                } => {
+                    out.push((callee.clone(), *callee_span));
+                    for arg in args {
+                        expr_calls(arg, out);
+                    }
+                }
+                ExprKind::Unary { operand, .. } => expr_calls(operand, out),
+                ExprKind::Binary { lhs, rhs, .. } => {
+                    expr_calls(lhs, out);
+                    expr_calls(rhs, out);
+                }
+                ExprKind::Ternary {
+                    cond,
+                    then_value,
+                    else_value,
+                } => {
+                    expr_calls(cond, out);
+                    expr_calls(then_value, out);
+                    expr_calls(else_value, out);
+                }
+                ExprKind::Index { index, .. } => expr_calls(index, out),
+                ExprKind::Slice { base, .. } => expr_calls(base, out),
+                ExprKind::Int(_) | ExprKind::Bool(_) | ExprKind::Var(_) => {}
+            }
+        }
+        for stmt in stmts {
+            match &stmt.kind {
+                StmtKind::Decl(decl) => {
+                    if let Some(init) = &decl.init {
+                        expr_calls(init, out);
+                    }
+                }
+                StmtKind::Assign { value, .. } => expr_calls(value, out),
+                StmtKind::Store { index, value, .. } => {
+                    expr_calls(index, out);
+                    expr_calls(value, out);
+                }
+                StmtKind::If {
+                    cond,
+                    then_body,
+                    else_body,
+                } => {
+                    expr_calls(cond, out);
+                    calls_of(then_body, out);
+                    calls_of(else_body, out);
+                }
+                StmtKind::While { cond, body, .. } => {
+                    expr_calls(cond, out);
+                    calls_of(body, out);
+                }
+                StmtKind::For { end, body, .. } => {
+                    expr_calls(end, out);
+                    calls_of(body, out);
+                }
+                StmtKind::Return { value } => expr_calls(value, out),
+                StmtKind::CallStmt { call } => expr_calls(call, out),
+            }
+        }
+    }
+
+    let edges: BTreeMap<&str, Vec<(String, Span)>> = program
+        .functions
+        .iter()
+        .map(|f| {
+            let mut calls = Vec::new();
+            calls_of(&f.body, &mut calls);
+            (f.name.as_str(), calls)
+        })
+        .collect();
+
+    // DFS from each function; a back edge into the active stack is a cycle.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        White,
+        Grey,
+        Black,
+    }
+    let mut marks: BTreeMap<&str, Mark> = edges.keys().map(|&k| (k, Mark::White)).collect();
+
+    fn dfs<'a>(
+        name: &'a str,
+        edges: &'a BTreeMap<&str, Vec<(String, Span)>>,
+        marks: &mut BTreeMap<&'a str, Mark>,
+        sink: &mut DiagSink,
+    ) {
+        marks.insert(name, Mark::Grey);
+        if let Some(calls) = edges.get(name) {
+            for (callee, span) in calls {
+                match marks.get(callee.as_str()).copied() {
+                    Some(Mark::Grey) => sink.error(
+                        *span,
+                        format!(
+                            "recursive call cycle involving `{callee}` (calls cannot be inlined)"
+                        ),
+                    ),
+                    Some(Mark::White) => {
+                        // Re-borrow with the owning key so the lifetime holds.
+                        if let Some((&key, _)) = edges.get_key_value(callee.as_str()) {
+                            dfs(key, edges, marks, sink);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        marks.insert(name, Mark::Black);
+    }
+
+    let names: Vec<&str> = edges.keys().copied().collect();
+    for name in names {
+        if marks[name] == Mark::White {
+            dfs(name, &edges, &mut marks, sink);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn analyze_src(source: &str) -> Result<Analysis, Vec<Diagnostic>> {
+        let ast = parse(source).expect("parse is clean");
+        analyze_with_source(&ast, source)
+    }
+
+    fn first_error(source: &str) -> String {
+        analyze_src(source).unwrap_err()[0].to_string()
+    }
+
+    #[test]
+    fn clean_program_passes() {
+        let analysis = analyze_src(
+            "u8 f(u8 a, u8 b) {\n  u8 m;\n  if (a > b) { m = a; } else { m = b; }\n  return m;\n}",
+        )
+        .expect("clean");
+        assert!(!analysis.expr_types.is_empty());
+    }
+
+    #[test]
+    fn undeclared_variable_is_reported_with_position() {
+        assert_eq!(
+            first_error("int f() {\n  x = 1;\n  return 0;\n}"),
+            "2:3: error: unknown variable `x`"
+        );
+    }
+
+    #[test]
+    fn duplicate_declaration_is_reported() {
+        let msg = first_error("int f() {\n  int a;\n  u8 a;\n  return 0;\n}");
+        assert_eq!(msg, "3:6: error: duplicate declaration of `a`");
+    }
+
+    #[test]
+    fn const_index_bounds_are_checked() {
+        let msg = first_error("int f(u8 b[4]) {\n  int x;\n  x = b[4];\n  return x;\n}");
+        assert!(msg.contains("out of bounds"), "{msg}");
+    }
+
+    #[test]
+    fn call_arity_is_checked() {
+        let msg = first_error(
+            "u8 g(u8 x) { return x; }\nint f() {\n  int y;\n  y = g(1, 2);\n  return y;\n}",
+        );
+        assert!(msg.contains("expects 1 argument(s), found 2"), "{msg}");
+    }
+
+    #[test]
+    fn recursion_is_rejected() {
+        let msg = first_error("int f(int x) {\n  int y;\n  y = f(x);\n  return y;\n}");
+        assert!(msg.contains("recursive call cycle"), "{msg}");
+    }
+
+    #[test]
+    fn literal_adopts_other_operand_width() {
+        let source = "u8 f(u8 a) {\n  u8 x;\n  x = a & 3;\n  return x;\n}";
+        let ast = parse(source).unwrap();
+        let analysis = analyze_with_source(&ast, source).unwrap();
+        let StmtKind::Assign { value, .. } = &ast.functions[0].body[1].kind else {
+            panic!()
+        };
+        assert_eq!(analysis.type_of(value), Type::Bits(8));
+    }
+
+    #[test]
+    fn comparisons_are_boolean() {
+        let source = "bool f(u16 a, u16 b) {\n  bool c;\n  c = a == b;\n  return c;\n}";
+        let ast = parse(source).unwrap();
+        let analysis = analyze_with_source(&ast, source).unwrap();
+        let StmtKind::Assign { value, .. } = &ast.functions[0].body[1].kind else {
+            panic!()
+        };
+        assert_eq!(analysis.type_of(value), Type::Bool);
+    }
+
+    #[test]
+    fn reserved_temp_names_are_rejected() {
+        let msg = first_error("int f() {\n  u8 t_0;\n  t_0 = 1;\n  return 0;\n}");
+        assert!(msg.contains("reserved for compiler-generated"), "{msg}");
+        // `t_x`, `t0` and plain `t` are fine.
+        assert!(analyze_src("int f() {\n  u8 t_x;\n  u8 t0;\n  u8 t;\n  return 0;\n}").is_ok());
+    }
+
+    #[test]
+    fn array_used_as_scalar_is_reported() {
+        let msg = first_error("int f(u8 b[4]) {\n  int x;\n  x = b + 1;\n  return x;\n}");
+        assert!(msg.contains("used as a scalar"), "{msg}");
+    }
+
+    #[test]
+    fn array_call_arguments_check_shape() {
+        let msg = first_error(
+            "u8 g(u8 data[8]) { return data[0]; }\nu8 f(u8 b[4]) {\n  u8 x;\n  x = g(b);\n  return x;\n}",
+        );
+        assert!(msg.contains("has shape u8[4]"), "{msg}");
+    }
+}

@@ -1,0 +1,174 @@
+//! Tokens of the SPARK-C surface language.
+
+use crate::diag::Span;
+use std::fmt;
+
+/// What a token is.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier (also carries type names such as `u8`).
+    Ident(String),
+    /// An unsigned integer literal (decimal or `0x` hexadecimal).
+    Int(u64),
+
+    // Keywords.
+    /// `int`
+    KwInt,
+    /// `bool`
+    KwBool,
+    /// `void`
+    KwVoid,
+    /// `if`
+    KwIf,
+    /// `else`
+    KwElse,
+    /// `while`
+    KwWhile,
+    /// `for`
+    KwFor,
+    /// `return`
+    KwReturn,
+    /// `true`
+    KwTrue,
+    /// `false`
+    KwFalse,
+    /// `out`
+    KwOut,
+    /// `bound`
+    KwBound,
+
+    // Punctuation.
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `?`
+    Question,
+
+    // Operators.
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `^`
+    Caret,
+    /// `~`
+    Tilde,
+    /// `!`
+    Bang,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    EqEq,
+    /// `!=`
+    Ne,
+    /// `=`
+    Assign,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `++`
+    PlusPlus,
+
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// A short human-readable name used in parse-error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(name) => format!("identifier `{name}`"),
+            TokenKind::Int(value) => format!("integer `{value}`"),
+            TokenKind::KwInt => "`int`".into(),
+            TokenKind::KwBool => "`bool`".into(),
+            TokenKind::KwVoid => "`void`".into(),
+            TokenKind::KwIf => "`if`".into(),
+            TokenKind::KwElse => "`else`".into(),
+            TokenKind::KwWhile => "`while`".into(),
+            TokenKind::KwFor => "`for`".into(),
+            TokenKind::KwReturn => "`return`".into(),
+            TokenKind::KwTrue => "`true`".into(),
+            TokenKind::KwFalse => "`false`".into(),
+            TokenKind::KwOut => "`out`".into(),
+            TokenKind::KwBound => "`bound`".into(),
+            TokenKind::LParen => "`(`".into(),
+            TokenKind::RParen => "`)`".into(),
+            TokenKind::LBrace => "`{`".into(),
+            TokenKind::RBrace => "`}`".into(),
+            TokenKind::LBracket => "`[`".into(),
+            TokenKind::RBracket => "`]`".into(),
+            TokenKind::Comma => "`,`".into(),
+            TokenKind::Semi => "`;`".into(),
+            TokenKind::Colon => "`:`".into(),
+            TokenKind::Question => "`?`".into(),
+            TokenKind::Plus => "`+`".into(),
+            TokenKind::Minus => "`-`".into(),
+            TokenKind::Star => "`*`".into(),
+            TokenKind::Amp => "`&`".into(),
+            TokenKind::Pipe => "`|`".into(),
+            TokenKind::Caret => "`^`".into(),
+            TokenKind::Tilde => "`~`".into(),
+            TokenKind::Bang => "`!`".into(),
+            TokenKind::Shl => "`<<`".into(),
+            TokenKind::Shr => "`>>`".into(),
+            TokenKind::Lt => "`<`".into(),
+            TokenKind::Le => "`<=`".into(),
+            TokenKind::Gt => "`>`".into(),
+            TokenKind::Ge => "`>=`".into(),
+            TokenKind::EqEq => "`==`".into(),
+            TokenKind::Ne => "`!=`".into(),
+            TokenKind::Assign => "`=`".into(),
+            TokenKind::AndAnd => "`&&`".into(),
+            TokenKind::OrOr => "`||`".into(),
+            TokenKind::PlusPlus => "`++`".into(),
+            TokenKind::Eof => "end of input".into(),
+        }
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.describe())
+    }
+}
+
+/// A token with its source span.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// Where it sits in the source.
+    pub span: Span,
+}

@@ -1,0 +1,149 @@
+//! Golden diagnostics tests: exact `line:col: error: message` renderings
+//! for representative lexical, syntactic and semantic errors.
+//!
+//! These pin the user-facing error surface of the frontend — positions are
+//! part of the contract (editors and CI logs link through them), so a
+//! refactor that shifts a span shows up here as a string diff.
+
+use spark_front::compile;
+
+/// Compiles and returns the rendered diagnostics (must be non-empty).
+fn diagnostics(source: &str) -> Vec<String> {
+    let diags = compile(source).expect_err("source must be rejected");
+    diags.iter().map(|d| d.to_string()).collect()
+}
+
+#[test]
+fn lexical_error_unknown_character() {
+    assert_eq!(
+        diagnostics("int f() {\n  int x@;\n  return 0;\n}"),
+        // The lexer skips `@` and the parser then trips on the `;` — both
+        // carry positions; the lex error comes first.
+        vec!["2:8: error: unexpected character `@`".to_string()]
+    );
+}
+
+#[test]
+fn lexical_error_unterminated_comment() {
+    let diags = diagnostics("int f() { return 0; }\n/* open");
+    assert_eq!(diags[0], "2:1: error: unterminated block comment");
+}
+
+#[test]
+fn parse_error_missing_semicolon() {
+    let diags = diagnostics("int f() {\n  int x;\n  x = 1\n  return x;\n}");
+    assert_eq!(diags, vec!["4:3: error: expected `;`, found `return`"]);
+}
+
+#[test]
+fn parse_error_missing_expression() {
+    let diags = diagnostics("int f() {\n  return ;\n}");
+    assert_eq!(
+        diags,
+        vec!["2:10: error: expected an expression, found `;`"]
+    );
+}
+
+#[test]
+fn parse_error_bad_for_step() {
+    let diags = diagnostics(
+        "int f() {\n  int i;\n  int s;\n  for (i = 0; i < 4; s = s + 1) { s = i; }\n  return s;\n}",
+    );
+    assert_eq!(
+        diags,
+        vec!["4:22: error: for-loop step must update the index `i`, found `s`"]
+    );
+}
+
+#[test]
+fn sema_error_unknown_variable() {
+    assert_eq!(
+        diagnostics("int f() {\n  y = 3;\n  return 0;\n}"),
+        vec!["2:3: error: unknown variable `y`"]
+    );
+}
+
+#[test]
+fn sema_error_duplicate_declaration() {
+    assert_eq!(
+        diagnostics("int f(int a) {\n  u8 a;\n  return a;\n}"),
+        vec!["2:6: error: duplicate declaration of `a`"]
+    );
+}
+
+#[test]
+fn sema_error_constant_index_out_of_bounds() {
+    assert_eq!(
+        diagnostics("u8 f(u8 buf[4]) {\n  return buf[7];\n}"),
+        vec!["2:14: error: index 7 out of bounds for array of length 4"]
+    );
+}
+
+#[test]
+fn sema_error_array_used_as_scalar() {
+    assert_eq!(
+        diagnostics("int f(u8 buf[4]) {\n  return buf;\n}"),
+        vec!["2:10: error: array `buf` used as a scalar value (index it or pass it to a call)"]
+    );
+}
+
+#[test]
+fn sema_error_unknown_function_and_arity() {
+    assert_eq!(
+        diagnostics("int f() {\n  int x;\n  x = g(1);\n  return x;\n}"),
+        vec!["3:7: error: unknown function `g`"]
+    );
+    assert_eq!(
+        diagnostics(
+            "u8 g(u8 a, u8 b) { return a + b; }\nint f() {\n  int x;\n  x = g(1);\n  return x;\n}"
+        ),
+        vec!["4:7: error: `g` expects 2 argument(s), found 1"]
+    );
+}
+
+#[test]
+fn sema_error_recursion() {
+    let diags = diagnostics("int f(int n) {\n  int r;\n  r = f(n);\n  return r;\n}");
+    assert_eq!(
+        diags,
+        vec!["3:7: error: recursive call cycle involving `f` (calls cannot be inlined)"]
+    );
+}
+
+#[test]
+fn sema_error_slice_out_of_range() {
+    assert_eq!(
+        diagnostics("bool f(u8 a) {\n  return a[9:9];\n}"),
+        vec!["2:10: error: slice bit 9 out of range for a 8-bit value"]
+    );
+}
+
+#[test]
+fn sema_error_return_in_void_function() {
+    assert_eq!(
+        diagnostics("void f(u8 a) {\n  return a;\n}"),
+        vec!["2:3: error: `return` with a value in a void function"]
+    );
+}
+
+#[test]
+fn sema_error_logical_op_needs_booleans() {
+    let diags = diagnostics("bool f(u8 a, u8 b) {\n  return a && b;\n}");
+    assert_eq!(diags.len(), 2);
+    assert_eq!(
+        diags[0],
+        "2:10: error: `&&` requires boolean operands (compare against 0 first)"
+    );
+}
+
+#[test]
+fn multiple_errors_are_reported_in_source_order() {
+    let diags = diagnostics("int f() {\n  a = 1;\n  b = 2;\n  return 0;\n}");
+    assert_eq!(
+        diags,
+        vec![
+            "2:3: error: unknown variable `a`",
+            "3:3: error: unknown variable `b`",
+        ]
+    );
+}

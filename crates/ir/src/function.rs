@@ -1,6 +1,6 @@
 //! Behavioral functions: the unit of synthesis.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
 use crate::arena::Arena;
 use crate::block::{BasicBlock, BlockId};
@@ -40,6 +40,10 @@ pub struct Function {
     pub body: RegionId,
     /// Counter used to generate unique temporary names.
     next_temp: u32,
+    /// First-declaration name → id index backing [`Function::var_by_name`].
+    /// Maintained by [`Function::add_var`]; names are immutable after
+    /// declaration, so the index never goes stale.
+    name_index: HashMap<String, VarId>,
 }
 
 impl Function {
@@ -58,6 +62,7 @@ impl Function {
             regions,
             body,
             next_temp: 0,
+            name_index: HashMap::new(),
         }
     }
 
@@ -67,7 +72,12 @@ impl Function {
 
     /// Declares a variable and returns its id.
     pub fn add_var(&mut self, var: Var) -> VarId {
-        self.vars.alloc(var)
+        let name = var.name.clone();
+        let id = self.vars.alloc(var);
+        // First declaration wins, preserving `var_by_name`'s historical
+        // first-match semantics for duplicate names.
+        self.name_index.entry(name).or_insert(id);
+        id
     }
 
     /// Declares a parameter variable. Parameters default to primary inputs.
@@ -75,7 +85,7 @@ impl Function {
         if var.direction == PortDirection::Internal {
             var.direction = PortDirection::Input;
         }
-        let id = self.vars.alloc(var);
+        let id = self.add_var(var);
         self.params.push(id);
         id
     }
@@ -298,12 +308,13 @@ impl Function {
         map
     }
 
-    /// Finds a variable by name (first match).
+    /// Finds a variable by name (first match, O(1)).
+    ///
+    /// Backed by a name index maintained at declaration time — this is a hot
+    /// path for the frontend lowering, which resolves every identifier
+    /// through it.
     pub fn var_by_name(&self, name: &str) -> Option<VarId> {
-        self.vars
-            .iter()
-            .find(|(_, v)| v.name == name)
-            .map(|(id, _)| id)
+        self.name_index.get(name).copied()
     }
 
     /// Primary output variables of the function.
@@ -588,6 +599,21 @@ mod tests {
         let b = f.fresh_wire("tmp", Type::Bits(8));
         assert_ne!(f.vars[a].name, f.vars[b].name);
         assert!(f.vars[b].is_wire());
+    }
+
+    #[test]
+    fn var_by_name_is_indexed_with_first_match_semantics() {
+        let mut f = Function::new("n");
+        let a = f.add_param(Var::register("a", Type::Bits(8)));
+        let dup_first = f.add_var(Var::register("dup", Type::Bits(8)));
+        let _dup_second = f.add_var(Var::register("dup", Type::Bits(16)));
+        let t = f.fresh_temp("t", Type::Bool);
+        assert_eq!(f.var_by_name("a"), Some(a));
+        assert_eq!(f.var_by_name("dup"), Some(dup_first));
+        assert_eq!(f.var_by_name(&f.vars[t].name.clone()), Some(t));
+        assert_eq!(f.var_by_name("missing"), None);
+        // Clones carry the index.
+        assert_eq!(f.clone().var_by_name("dup"), Some(dup_first));
     }
 
     #[test]

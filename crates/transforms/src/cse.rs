@@ -68,7 +68,13 @@ fn expression_key(kind: &OpKind, args: &[Value]) -> String {
     if kind.is_commutative() {
         parts.sort();
     }
-    format!("{kind}({})", parts.join(","))
+    // The mnemonic alone is not a sound key for parameterized kinds:
+    // `x[1:1]` and `x[0:0]` are both "slice(v0)" but extract different bits.
+    let kind_key = match kind {
+        OpKind::Slice { hi, lo } => format!("slice[{hi}:{lo}]"),
+        other => other.to_string(),
+    };
+    format!("{kind_key}({})", parts.join(","))
 }
 
 #[cfg(test)]
@@ -124,6 +130,28 @@ mod tests {
         let mut f = b.finish();
         let report = common_subexpression_elimination(&mut f);
         assert!(report.is_noop());
+    }
+
+    #[test]
+    fn slices_with_different_bounds_are_distinct() {
+        // p = x[1:1] ^ x[0:0] — the two slices share their operand but
+        // extract different bits; merging them folds the xor to zero.
+        let mut b = FunctionBuilder::new("f");
+        let x = b.param("x", Type::Bits(8));
+        let t1 = b.var("t1", Type::Bool);
+        let t2 = b.var("t2", Type::Bool);
+        let t3 = b.var("t3", Type::Bool);
+        b.assign(OpKind::Slice { hi: 1, lo: 1 }, t1, vec![Value::Var(x)]);
+        b.assign(OpKind::Slice { hi: 0, lo: 0 }, t2, vec![Value::Var(x)]);
+        b.assign(OpKind::Slice { hi: 1, lo: 1 }, t3, vec![Value::Var(x)]);
+        let mut f = b.finish();
+        let report = common_subexpression_elimination(&mut f);
+        // Only the repeated [1:1] slice merges.
+        assert_eq!(report.changes, 1);
+        let ops = f.live_ops();
+        assert_eq!(f.ops[ops[1]].kind, OpKind::Slice { hi: 0, lo: 0 });
+        assert_eq!(f.ops[ops[2]].kind, OpKind::Copy);
+        assert_eq!(f.ops[ops[2]].args[0], Value::Var(t1));
     }
 
     #[test]

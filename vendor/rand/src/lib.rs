@@ -64,6 +64,13 @@ pub trait Rng {
         // Modulo bias is negligible for the tiny spans used here.
         T::from_offset(lo + self.next_u64() % span)
     }
+
+    /// Returns `true` with probability `p` (mirrors `rand::Rng::gen_bool`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        // Top 53 bits mapped to a unit float, like the real implementation.
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
 }
 
 /// The subset of `rand::SeedableRng` used by this workspace.
