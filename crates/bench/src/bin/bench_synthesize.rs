@@ -1,5 +1,6 @@
 //! Emits `BENCH_synthesize.json`: full-synthesis wall-times per ILD size and
-//! flow mode.
+//! flow mode, with a per-phase breakdown (transform / schedule / bind / RTL
+//! reporting) per point.
 //!
 //! Usage:
 //!
@@ -17,8 +18,9 @@ use spark_bench::perf::{bench_json, measure_synthesize};
 const USAGE: &str = "\
 usage: bench_synthesize [options]
 
-Measures full-synthesis wall time per ILD buffer size and flow mode, and
-emits the series as JSON.
+Measures full-synthesis wall time per ILD buffer size and flow mode —
+with a per-phase breakdown (transform/schedule/bind/rtl) — and emits the
+series as JSON.
 
 options:
   --sizes N,N,...  comma-separated ILD buffer sizes (default: 8,16,32)

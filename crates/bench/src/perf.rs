@@ -2,14 +2,20 @@
 //! `BENCH_synthesize.json` emitter.
 //!
 //! The committed `BENCH_synthesize.json` at the repository root records the
-//! per-size, per-flow-mode wall-times of full synthesis, so the performance
-//! trajectory of the reproduction is tracked PR over PR; CI regenerates the
-//! file on smoke sizes and uploads it as a workflow artifact. The JSON is
-//! emitted by hand — the build image has no registry access, so no serde.
+//! per-size, per-flow-mode wall-times of full synthesis — including the
+//! per-phase breakdown (transform / schedule / bind / RTL reporting) — so
+//! the performance trajectory of the reproduction is tracked PR over PR; CI
+//! regenerates the file on smoke sizes and uploads it as a workflow
+//! artifact. The JSON is emitted by hand — the build image has no registry
+//! access, so no serde.
 
 use std::time::Instant;
 
-use crate::{synthesize_ild_baseline, synthesize_ild_natural, synthesize_ild_spark};
+use spark_core::PhaseBreakdown;
+
+use crate::{
+    synthesize_ild_baseline_timed, synthesize_ild_natural_timed, synthesize_ild_spark_timed,
+};
 
 /// One measured benchmark point.
 #[derive(Clone, Debug, PartialEq)]
@@ -20,18 +26,21 @@ pub struct BenchRecord {
     pub n: u32,
     /// Mean wall-time of one full synthesis run, milliseconds.
     pub mean_ms: f64,
+    /// Mean per-phase wall-times across the same runs.
+    pub phases: PhaseBreakdown,
     /// Iterations averaged over (after one warm-up run).
     pub iters: u32,
 }
 
-/// A full-synthesis entry point parameterised by ILD buffer size.
-type SynthFn = fn(u32) -> spark_core::SynthesisResult;
+/// A full-synthesis entry point parameterised by ILD buffer size, returning
+/// the result plus its per-phase wall times.
+type SynthFn = fn(u32) -> (spark_core::SynthesisResult, PhaseBreakdown);
 
 /// The flow modes measured per size, with their synthesis entry points.
 const MODES: [(&str, SynthFn); 3] = [
-    ("coordinated", synthesize_ild_spark),
-    ("baseline", synthesize_ild_baseline),
-    ("natural", synthesize_ild_natural),
+    ("coordinated", synthesize_ild_spark_timed),
+    ("baseline", synthesize_ild_baseline_timed),
+    ("natural", synthesize_ild_natural_timed),
 ];
 
 /// Measures full synthesis wall-time for every `(mode, n)` combination,
@@ -42,15 +51,20 @@ pub fn measure_synthesize(sizes: &[u32], iters: u32) -> Vec<BenchRecord> {
     for &(mode, synth) in &MODES {
         for &n in sizes {
             std::hint::black_box(synth(n)); // warm-up
+            let mut phases = PhaseBreakdown::default();
             let start = Instant::now();
             for _ in 0..iters {
-                std::hint::black_box(synth(n));
+                let (result, breakdown) = synth(n);
+                std::hint::black_box(result);
+                phases.accumulate(&breakdown);
             }
             let mean_ms = start.elapsed().as_secs_f64() * 1e3 / f64::from(iters);
+            phases.scale(f64::from(iters));
             records.push(BenchRecord {
                 mode,
                 n,
                 mean_ms,
+                phases,
                 iters,
             });
         }
@@ -66,8 +80,17 @@ pub fn bench_json(records: &[BenchRecord]) -> String {
     for (index, record) in records.iter().enumerate() {
         let comma = if index + 1 < records.len() { "," } else { "" };
         out.push_str(&format!(
-            "    {{\"mode\": \"{}\", \"n\": {}, \"mean_ms\": {:.3}, \"iters\": {}}}{comma}\n",
-            record.mode, record.n, record.mean_ms, record.iters
+            "    {{\"mode\": \"{}\", \"n\": {}, \"mean_ms\": {:.3}, \"iters\": {}, \
+             \"transform_ms\": {:.3}, \"schedule_ms\": {:.3}, \"bind_ms\": {:.3}, \
+             \"rtl_ms\": {:.3}}}{comma}\n",
+            record.mode,
+            record.n,
+            record.mean_ms,
+            record.iters,
+            record.phases.transform_ms,
+            record.phases.schedule_ms,
+            record.phases.bind_ms,
+            record.phases.rtl_ms
         ));
     }
     out.push_str("  ]\n}\n");
@@ -85,6 +108,15 @@ mod tests {
         assert!(records.iter().all(|r| r.n == 4 && r.mean_ms > 0.0));
         let modes: Vec<&str> = records.iter().map(|r| r.mode).collect();
         assert_eq!(modes, vec!["coordinated", "baseline", "natural"]);
+        // The phase breakdown accounts for real time in every phase of the
+        // run (transform and schedule dominate; bind/rtl may be tiny but
+        // must be non-negative).
+        for record in &records {
+            assert!(record.phases.transform_ms > 0.0, "{}", record.mode);
+            assert!(record.phases.schedule_ms > 0.0, "{}", record.mode);
+            assert!(record.phases.bind_ms >= 0.0);
+            assert!(record.phases.rtl_ms >= 0.0);
+        }
     }
 
     #[test]
@@ -94,12 +126,19 @@ mod tests {
                 mode: "coordinated",
                 n: 8,
                 mean_ms: 1.5,
+                phases: PhaseBreakdown {
+                    transform_ms: 0.9,
+                    schedule_ms: 0.4,
+                    bind_ms: 0.1,
+                    rtl_ms: 0.1,
+                },
                 iters: 3,
             },
             BenchRecord {
                 mode: "baseline",
                 n: 8,
                 mean_ms: 2.25,
+                phases: PhaseBreakdown::default(),
                 iters: 3,
             },
         ];
@@ -107,8 +146,32 @@ mod tests {
         assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
         assert!(json.contains("\"benchmark\": \"synthesize\""));
         assert!(json.contains("\"mode\": \"coordinated\", \"n\": 8, \"mean_ms\": 1.500"));
+        assert!(json.contains("\"transform_ms\": 0.900"));
+        assert!(json.contains("\"schedule_ms\": 0.400"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         // Exactly one separating comma between the two records.
         assert_eq!(json.matches("},\n").count(), 1);
+    }
+
+    #[test]
+    fn phase_breakdown_accumulates_and_scales() {
+        let mut total = PhaseBreakdown::default();
+        total.accumulate(&PhaseBreakdown {
+            transform_ms: 2.0,
+            schedule_ms: 4.0,
+            bind_ms: 6.0,
+            rtl_ms: 8.0,
+        });
+        total.accumulate(&PhaseBreakdown {
+            transform_ms: 4.0,
+            schedule_ms: 4.0,
+            bind_ms: 2.0,
+            rtl_ms: 0.0,
+        });
+        total.scale(2.0);
+        assert_eq!(total.transform_ms, 3.0);
+        assert_eq!(total.schedule_ms, 4.0);
+        assert_eq!(total.bind_ms, 4.0);
+        assert_eq!(total.rtl_ms, 4.0);
     }
 }

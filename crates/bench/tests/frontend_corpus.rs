@@ -122,6 +122,48 @@ fn textual_ild_fingerprints_identically_to_its_builder_twin() {
 }
 
 #[test]
+fn multi_function_corpus_programs_exercise_inlining_end_to_end() {
+    // The multi-function designs must actually flow through `inline_calls`:
+    // more than one function in the compiled program, a non-noop inline
+    // report, and no calls left in the transformed top level.
+    for stem in ["ild_n8", "sad4", "row_minmax"] {
+        let source = std::fs::read_to_string(programs_dir().join(format!("{stem}.spark"))).unwrap();
+        let compiled = spark_front::compile(&source).unwrap();
+        assert!(
+            compiled.program.functions.len() >= 2,
+            "`{stem}` should declare a callee next to its top level"
+        );
+        let result = synthesize(&compiled.program, &compiled.top, &corpus_flow()).unwrap();
+        let inline = result
+            .pass_log
+            .iter()
+            .find(|r| r.pass == "inline")
+            .expect("inline pass ran");
+        assert!(
+            inline.changes > 0,
+            "`{stem}` should inline at least one call, report: {inline}"
+        );
+        assert!(
+            !result
+                .function
+                .live_ops()
+                .iter()
+                .any(|&op| matches!(result.function.ops[op].kind, spark_ir::OpKind::Call { .. })),
+            "`{stem}` still contains calls after transformation"
+        );
+    }
+    // The new designs exercise the array-aliasing and scalar-binding paths:
+    // row_minmax inlines two array-taking callees per unrolled iteration.
+    let source = std::fs::read_to_string(programs_dir().join("row_minmax.spark")).unwrap();
+    let compiled = spark_front::compile(&source).unwrap();
+    let result = synthesize(&compiled.program, &compiled.top, &corpus_flow()).unwrap();
+    // Inlining precedes unrolling, so each of the two call sites (one per
+    // callee) is folded into the caller exactly once.
+    let inline = result.pass_log.iter().find(|r| r.pass == "inline").unwrap();
+    assert_eq!(inline.changes, 2, "one inline per callee call site");
+}
+
+#[test]
 fn corpus_programs_single_cycle_where_expected() {
     // The pure-dataflow kernels must reach the paper's single-cycle
     // architecture once fully unrolled and speculated.

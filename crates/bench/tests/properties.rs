@@ -3,10 +3,146 @@
 use std::sync::OnceLock;
 
 use proptest::prelude::*;
-use spark_core::{synthesize, FlowOptions, SynthesisResult};
+use spark_core::{synthesize, transform_program, FlowOptions, SynthesisResult};
 use spark_ild::{buffer_env, build_ild_program, decode_marks, ILD_FUNCTION};
-use spark_ir::{verify, Env, FunctionBuilder, Interpreter, OpKind, Program, Type, Value};
+use spark_ir::{
+    verify, DefUseGraph, Env, Function, FunctionBuilder, Interpreter, OpKind, Program, Type, Value,
+};
 use spark_transforms as xf;
+
+// ---------------------------------------------------------------------------
+// Random structured-program generation for the def-use / worklist properties.
+// ---------------------------------------------------------------------------
+
+/// Builds a deterministic random function from a byte script: a mix of
+/// straight-line arithmetic over a growing variable pool, conditionals,
+/// small counted loops, repeated expressions (CSE fodder), constant copies
+/// (const-prop fodder) and variable copies (copy-prop fodder), ending in
+/// writes to primary outputs so not everything is dead.
+fn build_scripted_function(script: &[u8]) -> Function {
+    let mut b = FunctionBuilder::new("gen");
+    let p0 = b.param("p0", Type::Bits(8));
+    let p1 = b.param("p1", Type::Bits(8));
+    let cond = b.param("cond", Type::Bool);
+    let out0 = b.output("out0", Type::Bits(8));
+    let out1 = b.output("out1", Type::Bits(8));
+    let mut pool = vec![p0, p1];
+    let mut depth = 0usize;
+    let mut loops = 0usize;
+
+    let mut bytes = script.iter().copied();
+    while let Some(choice) = bytes.next() {
+        let a = bytes.next().unwrap_or(1);
+        let c = bytes.next().unwrap_or(2);
+        let pick = |sel: u8, pool: &[spark_ir::VarId]| pool[sel as usize % pool.len()];
+        match choice % 10 {
+            // Fresh computation over the pool.
+            0..=2 => {
+                let kinds = [
+                    OpKind::Add,
+                    OpKind::Sub,
+                    OpKind::Mul,
+                    OpKind::And,
+                    OpKind::Xor,
+                ];
+                let kind = kinds[c as usize % kinds.len()].clone();
+                let dest = b.var(&format!("v{}", pool.len()), Type::Bits(8));
+                let lhs = Value::Var(pick(a, &pool));
+                let rhs = if c % 3 == 0 {
+                    Value::word(u64::from(c % 7))
+                } else {
+                    Value::Var(pick(c, &pool))
+                };
+                b.assign(kind, dest, vec![lhs, rhs]);
+                pool.push(dest);
+            }
+            // A constant copy (constant-propagation fodder).
+            3 => {
+                let dest = b.var(&format!("v{}", pool.len()), Type::Bits(8));
+                b.copy(dest, Value::word(u64::from(a % 16)));
+                pool.push(dest);
+            }
+            // A variable copy (copy-propagation fodder).
+            4 => {
+                let dest = b.var(&format!("v{}", pool.len()), Type::Bits(8));
+                b.copy(dest, Value::Var(pick(a, &pool)));
+                pool.push(dest);
+            }
+            // A deliberately repeated expression (CSE fodder).
+            5 => {
+                let lhs = Value::Var(pick(a, &pool));
+                let rhs = Value::Var(pick(c, &pool));
+                let d1 = b.var(&format!("v{}", pool.len()), Type::Bits(8));
+                b.assign(OpKind::Add, d1, vec![lhs, rhs]);
+                pool.push(d1);
+                let d2 = b.var(&format!("v{}", pool.len()), Type::Bits(8));
+                b.assign(OpKind::Add, d2, vec![lhs, rhs]);
+                pool.push(d2);
+            }
+            // Open a conditional (bounded nesting).
+            6 if depth < 2 => {
+                b.if_begin(Value::Var(cond));
+                depth += 1;
+            }
+            // Else-branch or close of the innermost conditional.
+            7 if depth > 0 => {
+                if a % 2 == 0 {
+                    b.else_begin();
+                }
+                b.if_end();
+                depth -= 1;
+            }
+            // A small counted loop accumulating into a fresh variable.
+            8 if depth == 0 && loops < 2 => {
+                let i = b.var(&format!("i{loops}"), Type::Bits(8));
+                let acc = b.var(&format!("v{}", pool.len()), Type::Bits(8));
+                b.copy(acc, Value::Var(pick(a, &pool)));
+                b.for_begin(i, 0, Value::word(u64::from(c % 3) + 1), 1);
+                b.assign(OpKind::Add, acc, vec![Value::Var(acc), Value::Var(i)]);
+                b.loop_end();
+                pool.push(acc);
+                loops += 1;
+            }
+            // Write an output from the pool.
+            _ => {
+                let dest = if a % 2 == 0 { out0 } else { out1 };
+                b.copy(dest, Value::Var(pick(c, &pool)));
+            }
+        }
+    }
+    while depth > 0 {
+        b.if_end();
+        depth -= 1;
+    }
+    // Always observe the two most recent pool values.
+    b.copy(out0, Value::Var(pool[pool.len() - 1]));
+    b.copy(out1, Value::Var(pool[pool.len() - 2]));
+    b.finish()
+}
+
+/// The fine-grain clean-up sequence of `transform_program`, expressed with
+/// the stand-alone full-rescan entry points (each pass builds fresh analyses
+/// and examines everything) — the reference the worklist pipeline must
+/// match.
+fn reference_cleanup(f: &mut Function) {
+    xf::constant_propagation(f);
+    xf::copy_propagation(f);
+    xf::common_subexpression_elimination(f);
+    xf::dead_code_elimination(f);
+    xf::constant_propagation(f);
+    xf::copy_propagation(f);
+    xf::dead_code_elimination(f);
+}
+
+/// Options running only the fine-grain clean-up (all coarse passes off).
+fn fine_only_options() -> FlowOptions {
+    let mut options = FlowOptions::microprocessor_block(100.0);
+    options.while_to_for = false;
+    options.inline = false;
+    options.speculate = false;
+    options.unroll = false;
+    options
+}
 
 const ILD_N: usize = 8;
 
@@ -121,6 +257,76 @@ proptest! {
     fn encoding_length_bounds(b1 in any::<u8>(), b2 in any::<u8>(), b3 in any::<u8>(), b4 in any::<u8>()) {
         let len = spark_ild::encoding::calculate_length(b1, b2, b3, b4);
         prop_assert!((1..=spark_ild::encoding::MAX_INSTRUCTION_LENGTH).contains(&len));
+    }
+
+    /// The incrementally-maintained `DefUseGraph` equals a from-scratch
+    /// rebuild after every fine-grain pass, on arbitrary generated programs
+    /// (conditionals, loops, copies, repeated expressions). The pass-internal
+    /// debug check asserts the same thing mid-run; this property also pins it
+    /// at the suite level, over the wrapper entry points.
+    #[test]
+    fn defuse_graph_stays_consistent_through_every_pass(
+        script in proptest::collection::vec(any::<u8>(), 64),
+    ) {
+        let mut f = build_scripted_function(&script);
+        xf::unroll_all_loops(&mut f);
+        let mut state = xf::FineState::new(&f);
+        let all = f.live_ops();
+        xf::constant_propagation_seeded(&mut f, &mut state, &all);
+        prop_assert!(state.graph.consistency_errors(&f).is_empty());
+        let all = f.live_ops();
+        xf::copy_propagation_seeded(&mut f, &mut state, &all);
+        prop_assert!(state.graph.consistency_errors(&f).is_empty());
+        xf::common_subexpression_elimination_seeded(&mut f, &mut state, None);
+        prop_assert!(state.graph.consistency_errors(&f).is_empty());
+        xf::dead_code_elimination_seeded(&mut f, &mut state, None);
+        prop_assert!(state.graph.consistency_errors(&f).is_empty());
+        prop_assert!(verify(&f).is_ok());
+        // And the maintained graph answers queries identically to a fresh one.
+        let fresh = DefUseGraph::compute(&f);
+        for op in f.live_ops() {
+            prop_assert_eq!(state.graph.block_of(op), fresh.block_of(op));
+        }
+    }
+
+    /// The worklist-driven pipeline (shared analyses, touched-op seeding, as
+    /// driven by the `spark-core` pass manager) produces the same final IR as
+    /// the full-rescan reference sequence, and preserves interpreter
+    /// semantics, on arbitrary generated programs.
+    #[test]
+    fn worklist_pipeline_matches_full_rescan_reference(
+        script in proptest::collection::vec(any::<u8>(), 96),
+        p0 in 0u64..256, p1 in 0u64..256, cond in proptest::bool::ANY,
+    ) {
+        let original = build_scripted_function(&script);
+
+        // Reference: stand-alone full-rescan passes in pipeline order.
+        let mut reference = original.clone();
+        xf::unroll_all_loops(&mut reference);
+        reference_cleanup(&mut reference);
+
+        // Worklist pipeline: the pass manager's seeded fine-grain phase.
+        let mut program = Program::new();
+        program.add_function(original.clone());
+        let mut options = fine_only_options();
+        options.unroll = true;
+        let transformed = transform_program(&program, "gen", &options).unwrap();
+        let managed = transformed.program.function("gen").unwrap();
+
+        // Identical final IR: same printed function, op for op.
+        prop_assert_eq!(reference.to_string(), managed.to_string());
+
+        // And unchanged observable semantics vs. the untransformed original.
+        let env = Env::new()
+            .with_scalar("p0", p0)
+            .with_scalar("p1", p1)
+            .with_scalar("cond", cond as u64);
+        let mut p_before = Program::new();
+        p_before.add_function(original);
+        let before = Interpreter::new(&p_before).run("gen", &env).unwrap();
+        let after = Interpreter::new(&transformed.program).run("gen", &env).unwrap();
+        prop_assert_eq!(before.scalar("out0"), after.scalar("out0"));
+        prop_assert_eq!(before.scalar("out1"), after.scalar("out1"));
     }
 
     /// `SecondaryMap` round-trips an arbitrary insert/remove script against a

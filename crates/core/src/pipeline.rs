@@ -10,8 +10,11 @@
 //! insertion, binding and RTL generation — recording the effect of every
 //! stage so the figure-by-figure evolution of the design can be reproduced.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
 use spark_bind::{Binding, LifetimeAnalysis};
-use spark_ir::{Env, Function, FunctionStats, Program};
+use spark_ir::{Env, Function, FunctionStats, OpId, Program, RegionId};
 use spark_rtl::{DatapathReport, RtlOutcome, RtlSimError, RtlSimulator, VhdlEmitter};
 use spark_sched::{
     insert_wire_variables, schedule, validate_chaining, ChainingReport, Constraints, Controller,
@@ -231,25 +234,299 @@ pub struct TransformedProgram {
     pub stages: Vec<StageSnapshot>,
 }
 
-/// Appends a pass report to the log and — when [`FlowOptions::verify_ir`]
-/// is set — re-verifies the top-level function, so a pass that corrupts the
-/// IR fails here with its name attached instead of panicking downstream.
-fn record_pass(
-    report: xf::Report,
-    working: &Program,
-    top: &str,
-    options: &FlowOptions,
-    pass_log: &mut Vec<xf::Report>,
-) -> Result<(), SynthesisError> {
-    let pass = report.pass.clone();
-    pass_log.push(report);
-    if options.verify_ir {
-        if let Some(function) = working.function(top) {
-            spark_ir::verify(function)
-                .map_err(|errors| SynthesisError::MalformedIr { pass, errors })?;
+/// Global count of [`transform_program`] executions, for cache-hit
+/// assertions in tests and for the DSE memoization counter.
+static TRANSFORM_RUNS: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of times the transformation pipeline has executed in this process.
+///
+/// The design-space helpers memoize transformed programs on their transform
+/// flag set; this counter is how tests assert that sharing actually happens
+/// (see [`explore_configurations`](crate::explore_configurations)).
+pub fn transform_run_count() -> usize {
+    TRANSFORM_RUNS.load(Ordering::Relaxed)
+}
+
+/// The fine-grain worklist passes the pass manager schedules.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum FinePass {
+    ConstProp = 0,
+    CopyProp = 1,
+    Cse = 2,
+    Dce = 3,
+}
+
+const FINE_PASS_COUNT: usize = 4;
+
+/// Pending worklist seed for one fine-grain pass.
+#[derive(Clone, Debug)]
+enum Seed {
+    /// The pass has not run since the analyses were (re)built: examine every
+    /// live operation / block.
+    Everything,
+    /// Operations touched by other passes since this pass last ran.
+    Ops(Vec<OpId>),
+}
+
+/// Drives the transformation half of the coordinated flow: the coarse-grain
+/// passes in the paper's order, then the fine-grain clean-up as a sequence
+/// of worklist passes over shared, incrementally-maintained analyses.
+///
+/// The manager owns the cached [`xf::FineState`] (def–use graph and
+/// structural positions), invalidates it from each pass's
+/// [`Invalidation`](xf::Invalidation) report instead of rebuilding
+/// unconditionally, and seeds every fine-grain pass with the operations the
+/// previous passes touched — so the second constant-propagation /
+/// copy-propagation / DCE round examines only what actually changed instead
+/// of rescanning the whole function.
+pub struct PassManager<'a> {
+    options: &'a FlowOptions,
+    top: String,
+    working: Program,
+    pass_log: Vec<xf::Report>,
+    stages: Vec<StageSnapshot>,
+    /// Cached fine-grain analyses; `None` until built or after a structural
+    /// invalidation.
+    analyses: Option<xf::FineState>,
+    /// Per fine pass: what to examine on its next run.
+    seeds: [Seed; FINE_PASS_COUNT],
+    /// Regions invalidated by coarse passes since the analyses were built;
+    /// folded into `Ops` seeds when the analyses are next rebuilt.
+    dirty_regions: Vec<RegionId>,
+}
+
+impl<'a> PassManager<'a> {
+    /// Clones `program` and prepares to transform function `top`.
+    ///
+    /// # Errors
+    /// [`SynthesisError::UnknownFunction`] when `top` does not exist, and —
+    /// with [`FlowOptions::verify_ir`] set — [`SynthesisError::MalformedIr`]
+    /// (`pass: "input"`) when any input function is malformed.
+    pub fn new(
+        program: &Program,
+        top: &str,
+        options: &'a FlowOptions,
+    ) -> Result<Self, SynthesisError> {
+        let working = program.clone();
+        if working.function(top).is_none() {
+            return Err(SynthesisError::UnknownFunction(top.to_string()));
+        }
+        // Producers (builder-constructed workloads, the frontend, tests
+        // poking the arenas directly) are checked before any pass touches
+        // the program: every function is still present here, so all of them
+        // are verified.
+        if options.verify_ir {
+            for function in &working.functions {
+                spark_ir::verify(function).map_err(|errors| SynthesisError::MalformedIr {
+                    pass: "input".to_string(),
+                    errors,
+                })?;
+            }
+        }
+        let mut manager = PassManager {
+            options,
+            top: top.to_string(),
+            working,
+            pass_log: Vec::new(),
+            stages: Vec::new(),
+            analyses: None,
+            seeds: std::array::from_fn(|_| Seed::Everything),
+            dirty_regions: Vec::new(),
+        };
+        manager.snapshot("input");
+        Ok(manager)
+    }
+
+    fn snapshot(&mut self, name: &str) {
+        if let Some(f) = self.working.function(&self.top) {
+            self.stages.push(StageSnapshot {
+                stage: name.to_string(),
+                stats: FunctionStats::of(f),
+            });
         }
     }
-    Ok(())
+
+    /// Appends a pass report to the log, applies its analysis invalidation,
+    /// and — when [`FlowOptions::verify_ir`] is set — re-verifies the
+    /// top-level function, so a pass that corrupts the IR fails here with
+    /// its name attached instead of panicking downstream.
+    fn record(&mut self, report: xf::Report) -> Result<(), SynthesisError> {
+        match &report.invalidation {
+            xf::Invalidation::None => {}
+            xf::Invalidation::Region(region) => {
+                // The cached graph cannot be partially rebuilt, but passes
+                // that already consumed their full-function seed only need
+                // re-examining under the invalidated region.
+                self.analyses = None;
+                self.dirty_regions.push(*region);
+            }
+            xf::Invalidation::Structure => {
+                self.analyses = None;
+                self.dirty_regions.clear();
+                self.seeds = std::array::from_fn(|_| Seed::Everything);
+            }
+        }
+        let pass = report.pass.clone();
+        self.pass_log.push(report);
+        if self.options.verify_ir {
+            if let Some(function) = self.working.function(&self.top) {
+                spark_ir::verify(function)
+                    .map_err(|errors| SynthesisError::MalformedIr { pass, errors })?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs one coarse-grain pass over the working program.
+    fn coarse(
+        &mut self,
+        run: impl FnOnce(&mut Program, &str) -> xf::Report,
+    ) -> Result<(), SynthesisError> {
+        let report = run(&mut self.working, &self.top);
+        self.record(report)
+    }
+
+    /// Runs one fine-grain worklist pass, seeded by whatever the previous
+    /// passes touched, and distributes what it touched to the other passes'
+    /// seeds.
+    fn fine(&mut self, which: FinePass) -> Result<(), SynthesisError> {
+        // (Re)build the shared analyses if a coarse pass invalidated them,
+        // folding region invalidations into the pending seeds.
+        if self.analyses.is_none() {
+            let function = self.working.function(&self.top).expect("top exists");
+            if !self.dirty_regions.is_empty() {
+                for seed in &mut self.seeds {
+                    if let Seed::Ops(ops) = seed {
+                        for &region in &self.dirty_regions {
+                            ops.extend(function.ops_in_region(region));
+                        }
+                    }
+                }
+                self.dirty_regions.clear();
+            }
+            self.analyses = Some(xf::FineState::new(function));
+        }
+
+        let index = which as usize;
+        let seed = std::mem::replace(&mut self.seeds[index], Seed::Ops(Vec::new()));
+        let state = self.analyses.as_mut().expect("analyses just built");
+        let function = self.working.function_mut(&self.top).expect("top exists");
+        let (report, effects) = match (which, &seed) {
+            (FinePass::ConstProp, Seed::Everything) => {
+                let all = function.live_ops();
+                xf::constant_propagation_seeded(function, state, &all)
+            }
+            (FinePass::ConstProp, Seed::Ops(ops)) => {
+                xf::constant_propagation_seeded(function, state, ops)
+            }
+            (FinePass::CopyProp, Seed::Everything) => {
+                let all = function.live_ops();
+                xf::copy_propagation_seeded(function, state, &all)
+            }
+            (FinePass::CopyProp, Seed::Ops(ops)) => {
+                xf::copy_propagation_seeded(function, state, ops)
+            }
+            (FinePass::Cse, Seed::Everything) => {
+                xf::common_subexpression_elimination_seeded(function, state, None)
+            }
+            (FinePass::Cse, Seed::Ops(ops)) => {
+                xf::common_subexpression_elimination_seeded(function, state, Some(ops))
+            }
+            (FinePass::Dce, Seed::Everything) => {
+                xf::dead_code_elimination_seeded(function, state, None)
+            }
+            (FinePass::Dce, Seed::Ops(ops)) => {
+                xf::dead_code_elimination_seeded(function, state, Some(ops))
+            }
+        };
+
+        // Every op this pass touched may hold new work for the others; DCE
+        // additionally re-examines the definitions of variables that lost a
+        // reader.
+        let state = self.analyses.as_ref().expect("analyses alive");
+        for (other, seed) in self.seeds.iter_mut().enumerate() {
+            if other == index {
+                continue;
+            }
+            if let Seed::Ops(ops) = seed {
+                ops.extend(effects.touched.iter().copied());
+                if other == FinePass::Dce as usize {
+                    for &var in &effects.released {
+                        ops.extend(state.graph.defs_of(var));
+                    }
+                }
+            }
+        }
+        self.record(report)
+    }
+
+    /// Runs the whole transformation recipe and returns the transformed
+    /// program.
+    pub fn run(mut self) -> Result<TransformedProgram, SynthesisError> {
+        TRANSFORM_RUNS.fetch_add(1, Ordering::Relaxed);
+        let options = self.options;
+
+        // ---- Source-level and coarse-grain transformations ---------------
+        if options.while_to_for {
+            self.coarse(|p, top| xf::while_to_for(p.function_mut(top).expect("top exists")))?;
+            self.snapshot("while-to-for");
+        }
+        if options.inline {
+            self.coarse(xf::inline_calls)?;
+            self.snapshot("inline");
+        }
+        if options.speculate {
+            self.coarse(|p, top| xf::speculate(p.function_mut(top).expect("top exists")))?;
+            self.snapshot("speculation");
+        }
+        if options.unroll {
+            self.coarse(|p, top| xf::unroll_all_loops(p.function_mut(top).expect("top exists")))?;
+            self.snapshot("loop-unroll");
+        }
+        // Speculation opportunities often only appear after unrolling exposes
+        // the per-byte conditionals; run it again in the aggressive flow.
+        if options.speculate {
+            self.coarse(|p, top| xf::speculate(p.function_mut(top).expect("top exists")))?;
+        }
+
+        // ---- Fine-grain clean-up: worklist passes over shared analyses ----
+        if options.constant_propagation {
+            self.fine(FinePass::ConstProp)?;
+            self.snapshot("constant-propagation");
+        }
+        self.fine(FinePass::CopyProp)?;
+        if options.cse {
+            self.fine(FinePass::Cse)?;
+        }
+        self.fine(FinePass::Dce)?;
+        // A second round of constant propagation picks up constants exposed
+        // by copy propagation; DCE then removes the dead copies. These runs
+        // are seeded by the ops the passes above touched — on the ILD this
+        // is a few hundred ops instead of the whole function.
+        if options.constant_propagation {
+            self.fine(FinePass::ConstProp)?;
+        }
+        self.fine(FinePass::CopyProp)?;
+        self.fine(FinePass::Dce)?;
+        self.snapshot("cleanup");
+
+        if options.secondary_code_motions {
+            self.coarse(|p, top| {
+                xf::early_condition_execution(p.function_mut(top).expect("top exists"))
+            })?;
+            self.coarse(|p, top| {
+                xf::reverse_speculation(p.function_mut(top).expect("top exists"))
+            })?;
+            self.snapshot("secondary-code-motions");
+        }
+
+        Ok(TransformedProgram {
+            program: self.working,
+            top: self.top,
+            pass_log: self.pass_log,
+            stages: self.stages,
+        })
+    }
 }
 
 /// Runs the transformation half of the coordinated flow: source-level
@@ -257,6 +534,8 @@ fn record_pass(
 /// under the transformation switches of `options`. The clock period in
 /// `options` is not consulted — transformations are clock-agnostic, which is
 /// what makes the result reusable across a clock sweep.
+///
+/// This is a thin wrapper over [`PassManager::run`].
 ///
 /// # Errors
 /// Returns [`SynthesisError::UnknownFunction`] when `top` does not exist,
@@ -267,115 +546,47 @@ pub fn transform_program(
     top: &str,
     options: &FlowOptions,
 ) -> Result<TransformedProgram, SynthesisError> {
-    let mut working = program.clone();
-    if working.function(top).is_none() {
-        return Err(SynthesisError::UnknownFunction(top.to_string()));
-    }
-    let mut pass_log = Vec::new();
-    let mut stages = Vec::new();
-    let snapshot = |name: &str, program: &Program, stages: &mut Vec<StageSnapshot>| {
-        if let Some(f) = program.function(top) {
-            stages.push(StageSnapshot {
-                stage: name.to_string(),
-                stats: FunctionStats::of(f),
-            });
-        }
-    };
-    snapshot("input", &working, &mut stages);
-    // Producers (builder-constructed workloads, the frontend, tests poking
-    // the arenas directly) are checked before any pass touches the program:
-    // every function is still present here, so all of them are verified.
-    if options.verify_ir {
-        for function in &working.functions {
-            spark_ir::verify(function).map_err(|errors| SynthesisError::MalformedIr {
-                pass: "input".to_string(),
-                errors,
-            })?;
-        }
+    PassManager::new(program, top, options)?.run()
+}
+
+/// Wall-clock time spent in each phase of one synthesis run, milliseconds.
+///
+/// Emitted into `BENCH_synthesize.json` by the benchmark harness so the
+/// per-phase performance trajectory (transform vs. schedule vs. bind vs.
+/// RTL reporting) is visible PR over PR.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PhaseBreakdown {
+    /// Transformation pipeline ([`transform_program`]).
+    pub transform_ms: f64,
+    /// Dependence graph, scheduling, wire-variable insertion, chaining
+    /// validation and controller construction.
+    pub schedule_ms: f64,
+    /// Lifetime analysis and register/FU binding.
+    pub bind_ms: f64,
+    /// Datapath report construction (the RTL-level summary).
+    pub rtl_ms: f64,
+}
+
+impl PhaseBreakdown {
+    /// Accumulates another run's phase times into this one.
+    pub fn accumulate(&mut self, other: &PhaseBreakdown) {
+        self.transform_ms += other.transform_ms;
+        self.schedule_ms += other.schedule_ms;
+        self.bind_ms += other.bind_ms;
+        self.rtl_ms += other.rtl_ms;
     }
 
-    // ---- Source-level and coarse-grain transformations -------------------
-    if options.while_to_for {
-        let f = working.function_mut(top).expect("top exists");
-        let report = xf::while_to_for(f);
-        record_pass(report, &working, top, options, &mut pass_log)?;
-        snapshot("while-to-for", &working, &mut stages);
+    /// Divides every phase time by `n` (for averaging over iterations).
+    pub fn scale(&mut self, n: f64) {
+        self.transform_ms /= n;
+        self.schedule_ms /= n;
+        self.bind_ms /= n;
+        self.rtl_ms /= n;
     }
-    if options.inline {
-        let report = xf::inline_calls(&mut working, top);
-        record_pass(report, &working, top, options, &mut pass_log)?;
-        snapshot("inline", &working, &mut stages);
-    }
-    if options.speculate {
-        let f = working.function_mut(top).expect("top exists");
-        let report = xf::speculate(f);
-        record_pass(report, &working, top, options, &mut pass_log)?;
-        snapshot("speculation", &working, &mut stages);
-    }
-    if options.unroll {
-        let f = working.function_mut(top).expect("top exists");
-        let report = xf::unroll_all_loops(f);
-        record_pass(report, &working, top, options, &mut pass_log)?;
-        snapshot("loop-unroll", &working, &mut stages);
-    }
-    // Speculation opportunities often only appear after unrolling exposes the
-    // per-byte conditionals; run it again in the aggressive flow.
-    if options.speculate {
-        let f = working.function_mut(top).expect("top exists");
-        let report = xf::speculate(f);
-        record_pass(report, &working, top, options, &mut pass_log)?;
-    }
+}
 
-    // ---- Fine-grain clean-up ---------------------------------------------
-    {
-        if options.constant_propagation {
-            let f = working.function_mut(top).expect("top exists");
-            let report = xf::constant_propagation(f);
-            record_pass(report, &working, top, options, &mut pass_log)?;
-            snapshot("constant-propagation", &working, &mut stages);
-        }
-        let f = working.function_mut(top).expect("top exists");
-        let report = xf::copy_propagation(f);
-        record_pass(report, &working, top, options, &mut pass_log)?;
-        if options.cse {
-            let f = working.function_mut(top).expect("top exists");
-            let report = xf::common_subexpression_elimination(f);
-            record_pass(report, &working, top, options, &mut pass_log)?;
-        }
-        let f = working.function_mut(top).expect("top exists");
-        let report = xf::dead_code_elimination(f);
-        record_pass(report, &working, top, options, &mut pass_log)?;
-        // A second round of constant propagation picks up constants exposed
-        // by copy propagation; DCE then removes the dead copies.
-        if options.constant_propagation {
-            let f = working.function_mut(top).expect("top exists");
-            let report = xf::constant_propagation(f);
-            record_pass(report, &working, top, options, &mut pass_log)?;
-        }
-        let f = working.function_mut(top).expect("top exists");
-        let report = xf::copy_propagation(f);
-        record_pass(report, &working, top, options, &mut pass_log)?;
-        let f = working.function_mut(top).expect("top exists");
-        let report = xf::dead_code_elimination(f);
-        record_pass(report, &working, top, options, &mut pass_log)?;
-        snapshot("cleanup", &working, &mut stages);
-    }
-    if options.secondary_code_motions {
-        let f = working.function_mut(top).expect("top exists");
-        let report = xf::early_condition_execution(f);
-        record_pass(report, &working, top, options, &mut pass_log)?;
-        let f = working.function_mut(top).expect("top exists");
-        let report = xf::reverse_speculation(f);
-        record_pass(report, &working, top, options, &mut pass_log)?;
-        snapshot("secondary-code-motions", &working, &mut stages);
-    }
-
-    Ok(TransformedProgram {
-        program: working,
-        top: top.to_string(),
-        pass_log,
-        stages,
-    })
+fn ms_since(start: Instant) -> f64 {
+    start.elapsed().as_secs_f64() * 1e3
 }
 
 /// Runs the back half of the flow — scheduling, chaining validation,
@@ -389,6 +600,20 @@ pub fn synthesize_transformed(
     transformed: &TransformedProgram,
     options: &FlowOptions,
 ) -> Result<SynthesisResult, SynthesisError> {
+    synthesize_transformed_timed(transformed, options).map(|(result, _)| result)
+}
+
+/// [`synthesize_transformed`] with per-phase wall times. The returned
+/// breakdown's `transform_ms` is zero — the transformation happened before
+/// this call; [`synthesize_with_breakdown`] fills it in.
+///
+/// # Errors
+/// Returns [`SynthesisError::Scheduling`] when the constraints cannot be met.
+pub fn synthesize_transformed_timed(
+    transformed: &TransformedProgram,
+    options: &FlowOptions,
+) -> Result<(SynthesisResult, PhaseBreakdown), SynthesisError> {
+    let mut breakdown = PhaseBreakdown::default();
     let library = ResourceLibrary::new();
     let top = transformed.top.as_str();
     let pass_log = transformed.pass_log.clone();
@@ -396,6 +621,7 @@ pub fn synthesize_transformed(
     let working = &transformed.program;
 
     // ---- Scheduling, chaining, binding, RTL --------------------------------
+    let started = Instant::now();
     let mut function = working.function(top).expect("top exists").clone();
     let graph = DependenceGraph::build(&function)?;
     let constraints = options.constraints();
@@ -406,26 +632,36 @@ pub fn synthesize_transformed(
     let graph = DependenceGraph::build(&function)?;
     let chaining = validate_chaining(&function, &graph, &sched, &library)?;
     let controller = Controller::build(&function, &graph, &sched);
+    breakdown.schedule_ms = ms_since(started);
+
+    let started = Instant::now();
     let lifetimes = LifetimeAnalysis::compute(&function, &sched);
     let binding = Binding::compute(&function, &sched, &lifetimes, &library);
+    breakdown.bind_ms = ms_since(started);
+
+    let started = Instant::now();
     let report = DatapathReport::build(&function, &sched, &binding, &controller, &library);
+    breakdown.rtl_ms = ms_since(started);
     stages.push(StageSnapshot {
         stage: "scheduled".to_string(),
         stats: FunctionStats::of(&function),
     });
 
-    Ok(SynthesisResult {
-        function,
-        graph,
-        schedule: sched,
-        controller,
-        binding,
-        report,
-        pass_log,
-        stages,
-        wire_report,
-        chaining,
-    })
+    Ok((
+        SynthesisResult {
+            function,
+            graph,
+            schedule: sched,
+            controller,
+            binding,
+            report,
+            pass_log,
+            stages,
+            wire_report,
+            chaining,
+        },
+        breakdown,
+    ))
 }
 
 /// Runs the coordinated flow on `program`, synthesizing the function `top`.
@@ -444,6 +680,25 @@ pub fn synthesize(
 ) -> Result<SynthesisResult, SynthesisError> {
     let transformed = transform_program(program, top, options)?;
     synthesize_transformed(&transformed, options)
+}
+
+/// [`synthesize`] with per-phase wall times (transform / schedule / bind /
+/// RTL reporting), for the benchmark harness.
+///
+/// # Errors
+/// Returns [`SynthesisError`] when the top function is missing or scheduling
+/// fails under the given constraints.
+pub fn synthesize_with_breakdown(
+    program: &Program,
+    top: &str,
+    options: &FlowOptions,
+) -> Result<(SynthesisResult, PhaseBreakdown), SynthesisError> {
+    let started = Instant::now();
+    let transformed = transform_program(program, top, options)?;
+    let transform_ms = ms_since(started);
+    let (result, mut breakdown) = synthesize_transformed_timed(&transformed, options)?;
+    breakdown.transform_ms = transform_ms;
+    Ok((result, breakdown))
 }
 
 /// Why source-level synthesis failed: either the frontend rejected the text
@@ -581,6 +836,65 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, SynthesisError::UnknownFunction(_)));
+    }
+
+    #[test]
+    fn region_invalidation_reseeds_fine_passes_after_a_coarse_pass() {
+        // Drive the manager out of recipe order: run a fine pass (consuming
+        // its full-function seed), then a coarse unroll that reports a
+        // `Region` invalidation, then the fine clean-up again. The second
+        // const-prop run is reseeded from the invalidated region's ops —
+        // this is the only path that exercises the `dirty_regions` fold —
+        // and the result must equal the full-rescan reference sequence.
+        use spark_ir::{FunctionBuilder, OpKind, Type, Value};
+        let build = || {
+            let mut b = FunctionBuilder::new("f");
+            let a = b.param("a", Type::Bits(8));
+            let i = b.var("i", Type::Bits(8));
+            let acc = b.output("acc", Type::Bits(8));
+            let t = b.var("t", Type::Bits(8));
+            // Foldable straight-line prefix plus a constant-bound loop.
+            b.assign(OpKind::Add, t, vec![Value::word(2), Value::word(3)]);
+            b.copy(acc, Value::Var(t));
+            b.for_begin(i, 1, Value::word(3), 1);
+            b.assign(OpKind::Add, acc, vec![Value::Var(acc), Value::Var(i)]);
+            b.loop_end();
+            let _ = a;
+            b.finish()
+        };
+
+        let mut program = Program::new();
+        program.add_function(build());
+        let mut options = FlowOptions::microprocessor_block(100.0);
+        options.while_to_for = false;
+        options.inline = false;
+        options.speculate = false;
+        options.unroll = false;
+        let mut manager = PassManager::new(&program, "f", &options).unwrap();
+        manager.fine(FinePass::ConstProp).unwrap();
+        let unrolled_before_fine = manager.working.function("f").unwrap().live_op_count();
+        manager
+            .coarse(|p, top| xf::unroll_all_loops(p.function_mut(top).expect("top exists")))
+            .unwrap();
+        assert!(matches!(
+            manager.pass_log.last().unwrap().invalidation,
+            xf::Invalidation::Region(_)
+        ));
+        assert!(manager.analyses.is_none(), "coarse pass dropped the cache");
+        manager.fine(FinePass::ConstProp).unwrap();
+        manager.fine(FinePass::CopyProp).unwrap();
+        manager.fine(FinePass::Dce).unwrap();
+        let managed = manager.working.function("f").unwrap().clone();
+
+        // Reference: the same sequence with stand-alone full-rescan passes.
+        let mut reference = build();
+        xf::constant_propagation(&mut reference);
+        xf::unroll_all_loops(&mut reference);
+        xf::constant_propagation(&mut reference);
+        xf::copy_propagation(&mut reference);
+        xf::dead_code_elimination(&mut reference);
+        assert_eq!(managed.to_string(), reference.to_string());
+        assert!(managed.live_op_count() < unrolled_before_fine + 3 * 2);
     }
 
     #[test]

@@ -51,6 +51,7 @@ mod arena;
 mod block;
 mod builder;
 mod cfg;
+mod defuse;
 mod dense;
 mod display;
 mod function;
@@ -68,6 +69,7 @@ pub use arena::{Arena, Id};
 pub use block::{BasicBlock, BlockId};
 pub use builder::FunctionBuilder;
 pub use cfg::{Cfg, CfgNode, CfgNodeKind};
+pub use defuse::{DefUseGraph, EditLog, Rewriter};
 pub use dense::{DenseKey, SecondaryMap};
 pub use function::Function;
 pub use htg::{HtgNode, IfNode, LoopKind, LoopNode, NodeId, Region, RegionId};

@@ -7,10 +7,10 @@
 //! are all constants, simplifies algebraic identities, and forwards
 //! single-definition constants to every dominated use.
 
-use spark_ir::{Constant, DefUse, Function, OpKind, Type, Value};
+use spark_ir::{Constant, EditLog, Function, OpId, OpKind, Rewriter, Type, Value};
 
-use crate::position::Positions;
-use crate::report::Report;
+use crate::fine::{FineState, OpQueue};
+use crate::report::{Invalidation, Report};
 
 /// Evaluates a pure operation over constant operands.
 ///
@@ -117,53 +117,68 @@ fn simplify_identity(kind: &OpKind, args: &[Value]) -> Option<Value> {
 
 /// Runs constant folding and propagation to a fixed point on `function`.
 ///
-/// Returns a [`Report`] with the number of folded operations and forwarded
-/// constants.
+/// Stand-alone entry point: builds fresh analyses and seeds the worklist
+/// with every live operation. Returns a [`Report`] with the number of folded
+/// operations and forwarded constants.
 pub fn constant_propagation(function: &mut Function) -> Report {
-    let mut report = Report::new("constant-propagation", &function.name);
-    // A generous iteration bound; each round either changes something or we stop.
-    for _round in 0..64 {
-        let mut changed = 0usize;
+    let mut state = FineState::new(function);
+    let seed = function.live_ops();
+    let (report, _) = constant_propagation_seeded(function, &mut state, &seed);
+    report
+}
 
-        // --- Folding: rewrite ops whose operands are all constants.
-        let live = function.live_ops();
-        for op_id in &live {
-            let op = function.ops[*op_id].clone();
-            if op.kind.has_side_effects() || matches!(op.kind, OpKind::Copy) {
-                continue;
-            }
-            let Some(dest) = op.dest else { continue };
-            let dest_ty = function.vars[dest].ty;
-            if op.args.iter().all(|a| a.is_const()) {
-                let consts: Vec<Constant> = op.args.iter().map(|a| a.as_const().unwrap()).collect();
-                if let Some(folded) = fold_constants(&op.kind, &consts, dest_ty) {
-                    let op_mut = &mut function.ops[*op_id];
-                    op_mut.kind = OpKind::Copy;
-                    op_mut.args = vec![Value::Const(folded)];
-                    changed += 1;
-                    continue;
-                }
-            }
-            if op.args.len() >= 2 || matches!(op.kind, OpKind::Select) {
-                if let Some(replacement) = simplify_identity(&op.kind, &op.args) {
-                    let op_mut = &mut function.ops[*op_id];
-                    op_mut.kind = OpKind::Copy;
-                    op_mut.args = vec![replacement];
-                    changed += 1;
-                }
+/// Worklist-driven constant folding and propagation over an incrementally
+/// maintained [`FineState`].
+///
+/// The worklist is seeded with `seed` plus — for each seed operation with a
+/// destination — the current readers of that destination, so passing the
+/// operations a previous pass touched is sufficient to find every new
+/// opportunity: folding depends only on an operation's own operands, and
+/// forwarding only on the definition of an operand having become a constant
+/// copy. Three confluent, monotone rewrites (operand → constant, operation →
+/// `Copy`) drive the queue, so the fixed point equals the full-rescan
+/// implementation's.
+pub fn constant_propagation_seeded(
+    function: &mut Function,
+    state: &mut FineState,
+    seed: &[OpId],
+) -> (Report, EditLog) {
+    let mut report = Report::new("constant-propagation", &function.name);
+    report.set_invalidation(Invalidation::None);
+    let FineState { graph, positions } = state;
+    let mut rw = Rewriter::new(function, graph);
+
+    let mut queue = OpQueue::default();
+    for &op in seed {
+        if rw.function().ops[op].dead {
+            continue;
+        }
+        queue.push(op);
+        if let Some(dest) = rw.function().ops[op].def() {
+            for &user in rw.graph().uses_of(dest) {
+                queue.push(user);
             }
         }
+    }
 
-        // --- Propagation: forward `x = constant` to dominated uses of x.
-        let def_use = DefUse::compute(function);
-        let positions = Positions::compute(function);
-        let mut rewrites: Vec<(spark_ir::OpId, usize, Value)> = Vec::new();
-        for (var, defs) in &def_use.defs {
-            if defs.len() != 1 {
+    let mut changed = 0usize;
+    while let Some(op_id) = queue.pop() {
+        if rw.function().ops[op_id].dead {
+            continue;
+        }
+
+        // --- Use-side forwarding: pull dominating single-def constants into
+        // this operation's operands.
+        for index in 0..rw.function().ops[op_id].args.len() {
+            let Value::Var(var) = rw.function().ops[op_id].args[index] else {
+                continue;
+            };
+            let defs = rw.graph().defs_of(var);
+            if defs.len() != 1 || defs[0] == op_id {
                 continue;
             }
             let def_op_id = defs[0];
-            let def_op = &function.ops[def_op_id];
+            let def_op = &rw.function().ops[def_op_id];
             if !matches!(def_op.kind, OpKind::Copy) {
                 continue;
             }
@@ -172,31 +187,74 @@ pub fn constant_propagation(function: &mut Function) -> Report {
             };
             // A definition inside a loop body may execute many times; the
             // constant is still the same every time, so forwarding is safe.
-            for &use_op in def_use.uses_of(*var) {
-                if use_op == def_op_id || !positions.dominates(def_op_id, use_op) {
-                    continue;
-                }
-                let use_args = &function.ops[use_op].args;
-                for (idx, arg) in use_args.iter().enumerate() {
-                    if *arg == Value::Var(*var) {
-                        rewrites.push((use_op, idx, Value::Const(constant)));
-                    }
-                }
-            }
-        }
-        for (op_id, idx, value) in rewrites {
-            if function.ops[op_id].args[idx] != value {
-                function.ops[op_id].args[idx] = value;
+            if positions.dominates(def_op_id, op_id)
+                && rw.replace_operand(op_id, index, Value::Const(constant))
+            {
                 changed += 1;
             }
         }
 
-        report.add(changed);
-        if changed == 0 {
-            break;
+        // --- Folding: rewrite the op if its operands are all constants, or
+        // an algebraic identity collapses it to a single value.
+        let op = rw.function().ops[op_id].clone();
+        if !op.kind.has_side_effects() && !matches!(op.kind, OpKind::Copy) {
+            if let Some(dest) = op.dest {
+                let dest_ty = rw.function().vars[dest].ty;
+                let folded = if op.args.iter().all(|a| a.is_const()) {
+                    let consts: Vec<Constant> =
+                        op.args.iter().map(|a| a.as_const().unwrap()).collect();
+                    fold_constants(&op.kind, &consts, dest_ty).map(Value::Const)
+                } else {
+                    None
+                };
+                let replacement = folded.or_else(|| {
+                    if op.args.len() >= 2 || matches!(op.kind, OpKind::Select) {
+                        simplify_identity(&op.kind, &op.args)
+                    } else {
+                        None
+                    }
+                });
+                if let Some(replacement) = replacement {
+                    rw.rewrite_op(op_id, OpKind::Copy, vec![replacement]);
+                    changed += 1;
+                }
+            }
+        }
+
+        // --- Def-side forwarding: if this op is (or just became) a constant
+        // copy with a single-def destination, push the constant into every
+        // dominated use and requeue those uses (they may fold in turn).
+        let op = &rw.function().ops[op_id];
+        if matches!(op.kind, OpKind::Copy) {
+            if let (Some(dest), Some(constant)) = (op.dest, op.args[0].as_const()) {
+                if rw.graph().has_single_def(dest) {
+                    let users: Vec<OpId> = rw.graph().uses_of(dest).to_vec();
+                    for use_op in users {
+                        if use_op == op_id || !positions.dominates(op_id, use_op) {
+                            continue;
+                        }
+                        let mut rewrote = false;
+                        for index in 0..rw.function().ops[use_op].args.len() {
+                            if rw.function().ops[use_op].args[index] == Value::Var(dest)
+                                && rw.replace_operand(use_op, index, Value::Const(constant))
+                            {
+                                changed += 1;
+                                rewrote = true;
+                            }
+                        }
+                        if rewrote {
+                            queue.push(use_op);
+                        }
+                    }
+                }
+            }
         }
     }
-    report
+
+    report.add(changed);
+    let effects = rw.finish();
+    state.debug_check(function);
+    (report, effects)
 }
 
 #[cfg(test)]

@@ -7,12 +7,15 @@
 //! lists it among the "standard compiler transformations" that support the
 //! coarse-grain ones (Section 3).
 
-use spark_ir::{DefUse, Function, OpKind, Value};
+use spark_ir::{EditLog, Function, OpId, OpKind, Rewriter, Value};
 
-use crate::position::Positions;
-use crate::report::Report;
+use crate::fine::{FineState, OpQueue};
+use crate::report::{Invalidation, Report};
 
 /// Runs copy propagation to a fixed point on `function`.
+///
+/// Stand-alone entry point: builds fresh analyses and seeds the worklist
+/// with every live operation.
 ///
 /// A copy `x = y` is forwarded to a use of `x` when:
 /// * `x` has exactly one live definition (the copy itself),
@@ -21,63 +24,135 @@ use crate::report::Report;
 ///   copy, or it is only defined as a parameter/primary input), so its value
 ///   at the use site equals its value at the copy site.
 pub fn copy_propagation(function: &mut Function) -> Report {
-    let mut report = Report::new("copy-propagation", &function.name);
-    for _round in 0..64 {
-        let def_use = DefUse::compute(function);
-        let positions = Positions::compute(function);
-        let mut rewrites: Vec<(spark_ir::OpId, usize, Value)> = Vec::new();
+    let mut state = FineState::new(function);
+    let seed = function.live_ops();
+    let (report, _) = copy_propagation_seeded(function, &mut state, &seed);
+    report
+}
 
-        for (var, defs) in &def_use.defs {
-            if defs.len() != 1 {
+/// Worklist-driven copy propagation over an incrementally maintained
+/// [`FineState`].
+///
+/// Seeding mirrors [`constant_propagation_seeded`](crate::constant_propagation_seeded):
+/// the worklist starts from `seed` plus the readers of each seed operation's
+/// destination. Forwardability of a copy is otherwise static across the
+/// fine-grain phase (definition counts of live, still-used variables never
+/// change, and dominance is structural), so the operations another pass
+/// rewrote — e.g. a CSE result turned into a fresh variable copy — are
+/// exactly the new opportunities. Copy chains resolve transitively by
+/// requeueing every rewritten use; each replacement substitutes the source
+/// of a strictly earlier dominating copy, so the process terminates at the
+/// same fixed point as the full-rescan implementation.
+pub fn copy_propagation_seeded(
+    function: &mut Function,
+    state: &mut FineState,
+    seed: &[OpId],
+) -> (Report, EditLog) {
+    let mut report = Report::new("copy-propagation", &function.name);
+    report.set_invalidation(Invalidation::None);
+    let FineState { graph, positions } = state;
+    let mut rw = Rewriter::new(function, graph);
+
+    let mut queue = OpQueue::default();
+    for &op in seed {
+        if rw.function().ops[op].dead {
+            continue;
+        }
+        queue.push(op);
+        if let Some(dest) = rw.function().ops[op].def() {
+            for &user in rw.graph().uses_of(dest) {
+                queue.push(user);
+            }
+        }
+    }
+
+    // Source stability: a constant, or a variable with a single dominating
+    // definition (or no definition at all, e.g. an input).
+    let stable =
+        |rw: &Rewriter<'_>, positions: &crate::Positions, source: Value, copy: OpId| match source {
+            Value::Const(_) => true,
+            Value::Var(src) => {
+                let src_defs = rw.graph().defs_of(src);
+                match src_defs.len() {
+                    0 => true,
+                    1 => positions.dominates(src_defs[0], copy),
+                    _ => false,
+                }
+            }
+        };
+
+    let mut changed = 0usize;
+    while let Some(op_id) = queue.pop() {
+        if rw.function().ops[op_id].dead {
+            continue;
+        }
+
+        // --- Use-side: pull the source of a dominating forwardable copy
+        // into this operation's operands.
+        let mut rewrote_operand = false;
+        for index in 0..rw.function().ops[op_id].args.len() {
+            let Value::Var(var) = rw.function().ops[op_id].args[index] else {
+                continue;
+            };
+            let defs = rw.graph().defs_of(var);
+            if defs.len() != 1 || defs[0] == op_id {
                 continue;
             }
             let copy_op_id = defs[0];
-            let copy_op = &function.ops[copy_op_id];
+            let copy_op = &rw.function().ops[copy_op_id];
             if copy_op.kind != OpKind::Copy {
                 continue;
             }
             let source = copy_op.args[0];
-            // Source must be stable: a constant, or a variable with a single
-            // dominating definition (or no definition at all, e.g. an input).
-            let stable = match source {
-                Value::Const(_) => true,
-                Value::Var(src) => {
-                    let src_defs = def_use.defs_of(src);
-                    match src_defs.len() {
-                        0 => true,
-                        1 => positions.dominates(src_defs[0], copy_op_id),
-                        _ => false,
-                    }
-                }
-            };
-            if !stable {
-                continue;
+            if stable(&rw, positions, source, copy_op_id)
+                && positions.dominates(copy_op_id, op_id)
+                && rw.replace_operand(op_id, index, source)
+            {
+                changed += 1;
+                rewrote_operand = true;
             }
-            for &use_op in def_use.uses_of(*var) {
-                if use_op == copy_op_id || !positions.dominates(copy_op_id, use_op) {
-                    continue;
-                }
-                for (idx, arg) in function.ops[use_op].args.iter().enumerate() {
-                    if *arg == Value::Var(*var) {
-                        rewrites.push((use_op, idx, source));
-                    }
-                }
-            }
+        }
+        if rewrote_operand {
+            // The operand may now name another forwardable copy (chains), or
+            // this op may itself be a copy whose source just changed.
+            queue.push(op_id);
         }
 
-        let mut changed = 0;
-        for (op_id, idx, value) in rewrites {
-            if function.ops[op_id].args[idx] != value {
-                function.ops[op_id].args[idx] = value;
-                changed += 1;
+        // --- Def-side: if this op is a forwardable copy, push its source
+        // into every dominated use and requeue them for chain resolution.
+        let op = &rw.function().ops[op_id];
+        if op.kind != OpKind::Copy {
+            continue;
+        }
+        let Some(dest) = op.dest else { continue };
+        let source = op.args[0];
+        if !rw.graph().has_single_def(dest) || !stable(&rw, positions, source, op_id) {
+            continue;
+        }
+        let users: Vec<OpId> = rw.graph().uses_of(dest).to_vec();
+        for use_op in users {
+            if use_op == op_id || !positions.dominates(op_id, use_op) {
+                continue;
+            }
+            let mut rewrote = false;
+            for index in 0..rw.function().ops[use_op].args.len() {
+                if rw.function().ops[use_op].args[index] == Value::Var(dest)
+                    && rw.replace_operand(use_op, index, source)
+                {
+                    changed += 1;
+                    rewrote = true;
+                }
+            }
+            if rewrote {
+                queue.push(use_op);
             }
         }
-        report.add(changed);
-        if changed == 0 {
-            break;
-        }
     }
-    report
+
+    report.add(changed);
+    let effects = rw.finish();
+    state.debug_check(function);
+    (report, effects)
 }
 
 #[cfg(test)]
@@ -152,5 +227,33 @@ mod tests {
         let ops = f.live_ops();
         let last = &f.ops[*ops.last().unwrap()];
         assert_eq!(last.args[0], Value::word(7));
+    }
+
+    #[test]
+    fn seeded_run_from_touched_ops_matches_full_rescan() {
+        // Build a copy chain, resolve it fully, then rewrite one op into a
+        // fresh copy (as CSE would) and check the seeded pass catches the
+        // new opportunity from the touched op alone.
+        let mut b = FunctionBuilder::new("f");
+        let a = b.param("a", Type::Bits(8));
+        let t1 = b.var("t1", Type::Bits(8));
+        let t2 = b.var("t2", Type::Bits(8));
+        let out = b.output("out", Type::Bits(8));
+        b.copy(t1, Value::Var(a));
+        let mid = b.assign(OpKind::Add, t2, vec![Value::Var(t1), Value::word(0)]);
+        let last = b.assign(OpKind::Add, out, vec![Value::Var(t2), Value::word(1)]);
+        let mut f = b.finish();
+
+        let mut state = FineState::new(&f);
+        let all = f.live_ops();
+        copy_propagation_seeded(&mut f, &mut state, &all);
+        // `mid` still computes t2 = a + 0; turn it into a plain copy as a
+        // later pass would, through the rewriter so the state stays live.
+        let mut rw = Rewriter::new(&mut f, &mut state.graph);
+        rw.rewrite_op(mid, OpKind::Copy, vec![Value::Var(a)]);
+        let log = rw.finish();
+        let (report, _) = copy_propagation_seeded(&mut f, &mut state, &log.touched);
+        assert_eq!(report.changes, 1);
+        assert_eq!(f.ops[last].args[0], Value::Var(a));
     }
 }

@@ -9,11 +9,14 @@
 
 use std::collections::HashMap;
 
-use spark_ir::{Function, OpKind, Value, VarId};
+use spark_ir::{EditLog, Function, OpId, OpKind, Rewriter, Value, VarId};
 
-use crate::report::Report;
+use crate::fine::FineState;
+use crate::report::{Invalidation, Report};
 
 /// Eliminates repeated pure computations within each basic block.
+///
+/// Stand-alone entry point: builds fresh analyses and scans every block.
 ///
 /// Two operations are merged when they have the same kind and operands, the
 /// earlier one's destination has not been overwritten in between, and none of
@@ -21,17 +24,52 @@ use crate::report::Report;
 /// rewritten into a copy of the earlier destination (and left for dead code
 /// elimination / copy propagation to clean up).
 pub fn common_subexpression_elimination(function: &mut Function) -> Report {
+    let mut state = FineState::new(function);
+    let (report, _) = common_subexpression_elimination_seeded(function, &mut state, None);
+    report
+}
+
+/// Block-local CSE over an incrementally maintained [`FineState`].
+///
+/// CSE is a per-block linear scan, so the worklist unit is the *block*:
+/// with `seed = Some(ops)` only the blocks owning those operations are
+/// rescanned (a block no pass touched cannot have grown a new repeated
+/// expression), with `None` every block is scanned. Rewrites go through the
+/// [`Rewriter`] so the shared def–use graph stays consistent.
+pub fn common_subexpression_elimination_seeded(
+    function: &mut Function,
+    state: &mut FineState,
+    seed: Option<&[OpId]>,
+) -> (Report, EditLog) {
     let mut report = Report::new("cse", &function.name);
-    let blocks = function.blocks_in_region(function.body);
+    report.set_invalidation(Invalidation::None);
+    let FineState { graph, .. } = state;
+    let mut rw = Rewriter::new(function, graph);
+
+    // Blocks to scan, in body traversal order.
+    let blocks = rw.function().blocks_in_region(rw.function().body);
+    let blocks: Vec<_> = match seed {
+        None => blocks,
+        Some(ops) => {
+            let mut dirty = vec![false; rw.function().blocks.len()];
+            for &op in ops {
+                if let Some(block) = rw.graph().block_of(op) {
+                    dirty[block.index()] = true;
+                }
+            }
+            blocks.into_iter().filter(|b| dirty[b.index()]).collect()
+        }
+    };
+
     for block in blocks {
-        let ops: Vec<_> = function.blocks[block].ops.clone();
-        // Available expressions: key -> (defining op position, dest var).
+        let ops: Vec<_> = rw.function().blocks[block].ops.clone();
+        // Available expressions: key -> dest var of the defining op.
         let mut available: HashMap<String, VarId> = HashMap::new();
         for op_id in ops {
-            if function.ops[op_id].dead {
+            if rw.function().ops[op_id].dead {
                 continue;
             }
-            let op = function.ops[op_id].clone();
+            let op = rw.function().ops[op_id].clone();
             // Invalidate expressions that used the variable this op defines.
             if let Some(defined) = op.def() {
                 available.retain(|key, dest| {
@@ -45,16 +83,17 @@ pub fn common_subexpression_elimination(function: &mut Function) -> Report {
             }
             let key = expression_key(&op.kind, &op.args);
             if let Some(&prev_dest) = available.get(&key) {
-                let op_mut = &mut function.ops[op_id];
-                op_mut.kind = OpKind::Copy;
-                op_mut.args = vec![Value::Var(prev_dest)];
+                rw.rewrite_op(op_id, OpKind::Copy, vec![Value::Var(prev_dest)]);
                 report.add(1);
             } else {
                 available.insert(key, op.dest.unwrap());
             }
         }
     }
-    report
+
+    let effects = rw.finish();
+    state.debug_check(function);
+    (report, effects)
 }
 
 fn expression_key(kind: &OpKind, args: &[Value]) -> String {

@@ -5,58 +5,104 @@
 //! wire-variable insertion of Section 3.1.2 ("a dead code elimination pass
 //! later removes any unnecessary variables and variable copies").
 
-use spark_ir::{DefUse, Function, PortDirection};
+use spark_ir::{EditLog, Function, OpId, PortDirection, Rewriter};
 
-use crate::report::Report;
+use crate::fine::{FineState, OpQueue};
+use crate::report::{Invalidation, Report};
 
 /// Removes operations whose results are never observed.
+///
+/// Stand-alone entry point: builds fresh analyses and examines every live
+/// operation.
 ///
 /// An operation is dead when it has no side effects and either has no
 /// destination or its destination is an internal variable with no live
 /// readers. Array writes are removed only when the whole array is internal
-/// and never read. The pass iterates to a fixed point because removing one
-/// operation can make its operands' definitions dead in turn.
+/// and never read. Removal cascades through a worklist: erasing one
+/// operation releases its operands, whose definitions are re-examined in
+/// turn — the classic mark-and-cascade formulation, reaching the same fixed
+/// point the round-based recompute implementation did.
 pub fn dead_code_elimination(function: &mut Function) -> Report {
+    let mut state = FineState::new(function);
+    let (report, _) = dead_code_elimination_seeded(function, &mut state, None);
+    report
+}
+
+/// Worklist-driven dead code elimination over an incrementally maintained
+/// [`FineState`].
+///
+/// With `seed = Some(ops)` only those candidate operations (typically the
+/// definitions of variables that lost uses in earlier passes, see
+/// [`EditLog::released`]) and their cascade are examined; with `None`
+/// every live operation is scanned once. Both modes cascade identically, so
+/// a seeded run after a full run equals the next full run.
+pub fn dead_code_elimination_seeded(
+    function: &mut Function,
+    state: &mut FineState,
+    seed: Option<&[OpId]>,
+) -> (Report, EditLog) {
     let mut report = Report::new("dead-code-elimination", &function.name);
-    loop {
-        let def_use = DefUse::compute(function);
-        let mut victims = Vec::new();
-        for op_id in function.live_ops() {
-            let op = &function.ops[op_id];
-            match &op.kind {
-                kind if !kind.has_side_effects() => {
-                    let dead = match op.dest {
-                        None => true,
-                        Some(dest) => def_use.is_dead(function, dest),
-                    };
-                    if dead {
-                        victims.push(op_id);
-                    }
-                }
-                spark_ir::OpKind::ArrayWrite { array } => {
-                    let array_var = &function.vars[*array];
-                    let unread = def_use.uses_of(*array).is_empty();
-                    if array_var.direction != PortDirection::Output && unread {
-                        victims.push(op_id);
-                    }
-                }
-                _ => {}
+    report.set_invalidation(Invalidation::None);
+    let FineState { graph, .. } = state;
+    let mut rw = Rewriter::new(function, graph);
+
+    let mut queue = OpQueue::default();
+    match seed {
+        None => {
+            for op in rw.function().live_ops() {
+                queue.push(op);
             }
         }
-        if victims.is_empty() {
-            break;
-        }
-        report.add(victims.len());
-        for op in victims {
-            function.kill_op(op);
+        Some(ops) => {
+            for &op in ops {
+                queue.push(op);
+            }
         }
     }
-    // Remove structure (blocks, ifs, loops) that became empty.
+
+    while let Some(op_id) = queue.pop() {
+        if rw.function().ops[op_id].dead {
+            continue;
+        }
+        let op = &rw.function().ops[op_id];
+        let victim = match &op.kind {
+            kind if !kind.has_side_effects() => match op.dest {
+                None => true,
+                Some(dest) => rw.graph().is_dead(rw.function(), dest),
+            },
+            spark_ir::OpKind::ArrayWrite { array } => {
+                rw.function().vars[*array].direction != PortDirection::Output
+                    && rw.graph().uses_of(*array).is_empty()
+            }
+            _ => false,
+        };
+        if !victim {
+            continue;
+        }
+        let released = rw.function().ops[op_id].uses();
+        rw.erase_op(op_id);
+        report.add(1);
+        // Cascade: operands that lost their last reader may have dead
+        // definitions now.
+        for var in released {
+            if rw.graph().uses_of(var).is_empty() {
+                for &def in rw.graph().defs_of(var) {
+                    queue.push(def);
+                }
+            }
+        }
+    }
+
+    let effects = rw.finish();
+    state.debug_check(function);
+    // Remove structure (blocks, ifs, loops) that became empty. Region-list
+    // pruning does not change the region chain or relative order of any
+    // surviving operation, so the shared `Positions` stay valid.
     let pruned = function.prune_empty();
     if pruned > 0 {
         report.note(format!("pruned {pruned} empty node(s)"));
     }
-    report
+    (report, effects)
 }
 
 #[cfg(test)]
@@ -130,5 +176,39 @@ mod tests {
         let mut f = b.finish();
         dead_code_elimination(&mut f);
         assert_eq!(f.live_op_count(), 2);
+    }
+
+    #[test]
+    fn seeded_run_cascades_from_released_definitions() {
+        // out = a; x = a + 1; y = x + 1 (y read by z, z read by out? no —
+        // build a chain that becomes dead only after its head's use is cut).
+        let mut b = FunctionBuilder::new("f");
+        let a = b.param("a", Type::Bits(8));
+        let x = b.var("x", Type::Bits(8));
+        let y = b.var("y", Type::Bits(8));
+        let out = b.output("out", Type::Bits(8));
+        let def_x = b.assign(OpKind::Add, x, vec![Value::Var(a), Value::word(1)]);
+        let def_y = b.assign(OpKind::Add, y, vec![Value::Var(x), Value::word(1)]);
+        let tail = b.copy(out, Value::Var(y));
+        let mut f = b.finish();
+
+        let mut state = FineState::new(&f);
+        let (report, _) = dead_code_elimination_seeded(&mut f, &mut state, None);
+        assert!(report.is_noop(), "everything feeds the output");
+
+        // Cut the chain: out now copies `a` directly (as copy propagation
+        // would), releasing y.
+        let mut rw = spark_ir::Rewriter::new(&mut f, &mut state.graph);
+        rw.replace_operand(tail, 0, Value::Var(a));
+        let log = rw.finish();
+        let candidates: Vec<OpId> = log
+            .released
+            .iter()
+            .flat_map(|&v| state.graph.defs_of(v).to_vec())
+            .collect();
+        let (report, _) = dead_code_elimination_seeded(&mut f, &mut state, Some(&candidates));
+        assert_eq!(report.changes, 2, "x and y cascade away");
+        assert!(f.ops[def_x].dead && f.ops[def_y].dead);
+        assert_eq!(f.live_op_count(), 1);
     }
 }

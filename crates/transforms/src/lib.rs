@@ -16,8 +16,19 @@
 //! Every pass takes a mutable [`Function`](spark_ir::Function) (or
 //! [`Program`](spark_ir::Program) for inlining), preserves the observable
 //! semantics checked by the [`spark_ir::Interpreter`], and returns a
-//! [`Report`] describing what changed, so that the `spark-core` pass manager
-//! can log the per-stage effect exactly as the paper's figures do.
+//! [`Report`] describing what changed — including which cached analyses it
+//! [`Invalidation`]-invalidated — so that the `spark-core` pass manager can
+//! log the per-stage effect exactly as the paper's figures do and rebuild
+//! only what a pass actually dirtied.
+//!
+//! The fine-grain passes additionally come in `_seeded` form
+//! ([`constant_propagation_seeded`], [`copy_propagation_seeded`],
+//! [`common_subexpression_elimination_seeded`],
+//! [`dead_code_elimination_seeded`]): worklist-driven variants over a shared
+//! [`FineState`] (an incrementally maintained
+//! [`DefUseGraph`](spark_ir::DefUseGraph) plus [`Positions`]), seeded by the
+//! operations the previous pass touched instead of rescanning the whole
+//! function per fixed-point round.
 //!
 //! # Examples
 //!
@@ -49,6 +60,7 @@ mod const_prop;
 mod copy_prop;
 mod cse;
 mod dce;
+mod fine;
 mod inline;
 mod position;
 mod report;
@@ -57,13 +69,14 @@ mod unroll;
 mod while_to_for;
 
 pub use code_motion::{early_condition_execution, reverse_speculation};
-pub use const_prop::{constant_propagation, fold_constants};
-pub use copy_prop::copy_propagation;
-pub use cse::common_subexpression_elimination;
-pub use dce::dead_code_elimination;
+pub use const_prop::{constant_propagation, constant_propagation_seeded, fold_constants};
+pub use copy_prop::{copy_propagation, copy_propagation_seeded};
+pub use cse::{common_subexpression_elimination, common_subexpression_elimination_seeded};
+pub use dce::{dead_code_elimination, dead_code_elimination_seeded};
+pub use fine::FineState;
 pub use inline::inline_calls;
 pub use position::Positions;
-pub use report::Report;
+pub use report::{Invalidation, Report};
 pub use speculation::{speculate, speculate_with, speculative_op_count, SpeculationOptions};
 pub use unroll::{
     reachable_loops, unroll_all_loops, unroll_loop_fully, UnrollError, MAX_UNROLL_ITERATIONS,

@@ -9,29 +9,50 @@
 //! buried inside a conditional branch therefore never dominates a use after
 //! the join, while a definition at the top level dominates everything that
 //! follows it.
+//!
+//! Positions stay valid across in-place rewrites and erasures: the fine
+//! passes never move an operation between blocks, erasing operations keeps
+//! the relative order of the survivors, and pruning emptied structure does
+//! not change the region chain of any remaining operation. The pass manager
+//! in `spark-core` therefore computes positions once per fine-grain phase
+//! and shares them across every worklist pass, instead of recomputing them
+//! per fixed-point round as the full-rescan passes did.
 
-use std::collections::BTreeMap;
+use std::collections::HashMap;
 
-use spark_ir::{Function, HtgNode, OpId, RegionId};
+use spark_ir::{Function, HtgNode, OpId, RegionId, SecondaryMap};
+
+/// Per-operation position record: an interned region chain, the pre-order
+/// program index, and loop membership.
+#[derive(Clone, Copy, Debug)]
+struct OpPosition {
+    /// Index into [`Positions::paths`].
+    path: u32,
+    /// Index in a pre-order walk of the whole body (program order).
+    order: u32,
+    /// Whether any enclosing HTG node is a loop.
+    in_loop: bool,
+}
 
 /// Structural position of every live operation in a function.
+///
+/// Region chains are interned: operations in the same region share one path
+/// entry, so the dominance test is usually a single integer comparison plus
+/// an equality check, and computing positions allocates O(regions) instead
+/// of O(operations) chains.
 #[derive(Clone, Debug, Default)]
 pub struct Positions {
-    /// For each op: the chain of region ids from the function body down to
-    /// the region containing the op's block.
-    region_path: BTreeMap<OpId, Vec<RegionId>>,
-    /// For each op: its index in a pre-order walk of the whole body
-    /// (program order).
-    order: BTreeMap<OpId, usize>,
-    /// For each op: whether any enclosing HTG node is a loop.
-    in_loop: BTreeMap<OpId, bool>,
+    info: SecondaryMap<OpId, OpPosition>,
+    /// Unique region chains from the body down, in first-encounter order.
+    paths: Vec<Vec<RegionId>>,
 }
 
 impl Positions {
     /// Computes positions for all live operations of `function`.
     pub fn compute(function: &Function) -> Self {
         let mut positions = Positions::default();
-        let mut counter = 0usize;
+        let mut interned: HashMap<Vec<RegionId>, u32> = HashMap::new();
+        let mut counter = 0u32;
         let mut path = vec![function.body];
         walk(
             function,
@@ -39,6 +60,7 @@ impl Positions {
             &mut path,
             false,
             &mut counter,
+            &mut interned,
             &mut positions,
         );
         positions
@@ -46,12 +68,12 @@ impl Positions {
 
     /// Program-order index of an operation (`None` for dead/detached ops).
     pub fn order_of(&self, op: OpId) -> Option<usize> {
-        self.order.get(&op).copied()
+        self.info.get(&op).map(|p| p.order as usize)
     }
 
     /// Returns `true` if `op` is nested inside at least one loop.
     pub fn is_in_loop(&self, op: OpId) -> bool {
-        self.in_loop.get(&op).copied().unwrap_or(false)
+        self.info.get(&op).map(|p| p.in_loop).unwrap_or(false)
     }
 
     /// Returns `true` if `def` structurally dominates `user`: `def` executes
@@ -61,19 +83,18 @@ impl Positions {
     /// outside their loop, and definitions inside conditional branches never
     /// dominate uses outside the branch.
     pub fn dominates(&self, def: OpId, user: OpId) -> bool {
-        let (Some(def_path), Some(use_path)) =
-            (self.region_path.get(&def), self.region_path.get(&user))
-        else {
+        let (Some(def_pos), Some(use_pos)) = (self.info.get(&def), self.info.get(&user)) else {
             return false;
         };
-        let (Some(&def_order), Some(&use_order)) = (self.order.get(&def), self.order.get(&user))
-        else {
-            return false;
-        };
-        if def_order >= use_order {
+        if def_pos.order >= use_pos.order {
             return false;
         }
+        if def_pos.path == use_pos.path {
+            return true;
+        }
         // def's region chain must be a prefix of use's region chain.
+        let def_path = &self.paths[def_pos.path as usize];
+        let use_path = &self.paths[use_pos.path as usize];
         if def_path.len() > use_path.len() {
             return false;
         }
@@ -81,14 +102,17 @@ impl Positions {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn walk(
     function: &Function,
     region: RegionId,
     path: &mut Vec<RegionId>,
     in_loop: bool,
-    counter: &mut usize,
+    counter: &mut u32,
+    interned: &mut HashMap<Vec<RegionId>, u32>,
     positions: &mut Positions,
 ) {
+    let mut path_id = None;
     for &node in &function.regions[region].nodes {
         match &function.nodes[node] {
             HtgNode::Block(b) => {
@@ -96,23 +120,50 @@ fn walk(
                     if function.ops[op].dead {
                         continue;
                     }
-                    positions.region_path.insert(op, path.clone());
-                    positions.order.insert(op, *counter);
-                    positions.in_loop.insert(op, in_loop);
+                    let path_id = *path_id.get_or_insert_with(|| {
+                        *interned.entry(path.clone()).or_insert_with(|| {
+                            positions.paths.push(path.clone());
+                            (positions.paths.len() - 1) as u32
+                        })
+                    });
+                    positions.info.insert(
+                        op,
+                        OpPosition {
+                            path: path_id,
+                            order: *counter,
+                            in_loop,
+                        },
+                    );
                     *counter += 1;
                 }
             }
             HtgNode::If(i) => {
                 path.push(i.then_region);
-                walk(function, i.then_region, path, in_loop, counter, positions);
+                walk(
+                    function,
+                    i.then_region,
+                    path,
+                    in_loop,
+                    counter,
+                    interned,
+                    positions,
+                );
                 path.pop();
                 path.push(i.else_region);
-                walk(function, i.else_region, path, in_loop, counter, positions);
+                walk(
+                    function,
+                    i.else_region,
+                    path,
+                    in_loop,
+                    counter,
+                    interned,
+                    positions,
+                );
                 path.pop();
             }
             HtgNode::Loop(l) => {
                 path.push(l.body);
-                walk(function, l.body, path, true, counter, positions);
+                walk(function, l.body, path, true, counter, interned, positions);
                 path.pop();
             }
         }
@@ -186,5 +237,17 @@ mod tests {
         assert!(pos.is_in_loop(inside));
         // A def before the loop dominates ops inside it.
         assert!(pos.dominates(before, inside));
+    }
+
+    #[test]
+    fn order_is_program_order() {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.var("x", Type::Bits(8));
+        let first = b.copy(x, Value::word(1));
+        let second = b.copy(x, Value::word(2));
+        let f = b.finish();
+        let pos = Positions::compute(&f);
+        assert!(pos.order_of(first).unwrap() < pos.order_of(second).unwrap());
+        assert_eq!(pos.order_of(spark_ir::OpId::from_raw(99)), None);
     }
 }

@@ -20,7 +20,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use spark_ir::{Function, HtgNode, OpKind, RegionId, Value, VarId};
 
-use crate::report::Report;
+use crate::report::{Invalidation, Report};
 
 /// Options controlling the speculation pass.
 #[derive(Clone, Copy, Debug)]
@@ -57,6 +57,11 @@ pub fn speculate_with(function: &mut Function, options: SpeculationOptions) -> R
     report.add(hoisted);
     if hoisted > 0 {
         report.note(format!("hoisted {hoisted} operation(s) above conditionals"));
+        // Hoists insert blocks and move computations across any region of
+        // the body that contains a conditional.
+        report.set_invalidation(Invalidation::Region(body));
+    } else {
+        report.set_invalidation(Invalidation::None);
     }
     report
 }

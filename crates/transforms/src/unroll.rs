@@ -12,7 +12,7 @@ use std::collections::BTreeMap;
 
 use spark_ir::{Constant, Function, HtgNode, LoopKind, NodeId, OpKind, RegionId, Value, Var};
 
-use crate::report::Report;
+use crate::report::{Invalidation, Report};
 
 /// Hard limit on the number of iterations a single loop may be expanded to.
 /// The ILD buffer sizes explored in the paper's domain are a few tens of
@@ -158,6 +158,9 @@ pub fn unroll_loop_fully(
         "unrolled loop over `{}` into {iterations} iteration(s)",
         function.vars[index].name
     ));
+    // Everything the unroll created or rewrote lives under the loop's parent
+    // region; analyses over the rest of the function remain valid.
+    report.set_invalidation(Invalidation::Region(parent_region));
     Ok(report)
 }
 
@@ -189,6 +192,7 @@ pub fn reachable_loops(function: &Function) -> Vec<NodeId> {
 /// loops). Loops that cannot be unrolled are skipped and noted.
 pub fn unroll_all_loops(function: &mut Function) -> Report {
     let mut report = Report::new("loop-unroll-all", &function.name);
+    let mut invalidation = Invalidation::None;
     for _round in 0..64 {
         let loops = reachable_loops(function);
         let mut progressed = false;
@@ -203,6 +207,7 @@ pub fn unroll_all_loops(function: &mut Function) -> Report {
                     for n in r.notes {
                         report.note(n);
                     }
+                    invalidation = merge_invalidation(invalidation, r.invalidation);
                     progressed = true;
                 }
                 Err(e) => report.note(format!("skipped loop: {e}")),
@@ -212,7 +217,20 @@ pub fn unroll_all_loops(function: &mut Function) -> Report {
             break;
         }
     }
+    report.set_invalidation(invalidation);
     report
+}
+
+/// Combines the invalidations of several sub-passes: distinct regions widen
+/// to a whole-structure invalidation.
+pub(crate) fn merge_invalidation(a: Invalidation, b: Invalidation) -> Invalidation {
+    match (a, b) {
+        (Invalidation::None, other) | (other, Invalidation::None) => other,
+        (Invalidation::Region(ra), Invalidation::Region(rb)) if ra == rb => {
+            Invalidation::Region(ra)
+        }
+        _ => Invalidation::Structure,
+    }
 }
 
 #[cfg(test)]

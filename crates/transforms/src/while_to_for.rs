@@ -29,7 +29,8 @@
 
 use spark_ir::{Function, HtgNode, LoopKind, NodeId, OpKind, Type, Value, Var};
 
-use crate::report::Report;
+use crate::report::{Invalidation, Report};
+use crate::unroll::merge_invalidation;
 
 /// Describes the cursor pattern found in a while-loop body.
 #[derive(Debug)]
@@ -47,8 +48,11 @@ struct CursorPattern {
 /// untouched and noted in the report.
 pub fn while_to_for(function: &mut Function) -> Report {
     let mut report = Report::new("while-to-for", &function.name);
+    let mut invalidation = Invalidation::None;
     while let Some(pattern) = find_pattern(function) {
-        rewrite(function, &pattern);
+        if let Some(parent) = rewrite(function, &pattern) {
+            invalidation = merge_invalidation(invalidation, Invalidation::Region(parent));
+        }
         report.add(1);
         report.note(format!(
             "converted while(1) over cursor `{}` into a for loop of {} iterations",
@@ -58,6 +62,7 @@ pub fn while_to_for(function: &mut Function) -> Report {
     if report.is_noop() {
         report.note("no convertible while loops found");
     }
+    report.set_invalidation(invalidation);
     report
 }
 
@@ -121,9 +126,11 @@ fn is_reachable(function: &Function, node: NodeId) -> bool {
     walk(function, function.body, node)
 }
 
-fn rewrite(function: &mut Function, pattern: &CursorPattern) {
+/// Performs the rewrite, returning the region whose node list changed (the
+/// parent of the converted loop).
+fn rewrite(function: &mut Function, pattern: &CursorPattern) -> Option<spark_ir::RegionId> {
     let HtgNode::Loop(loop_data) = function.nodes[pattern.loop_node].clone() else {
-        return;
+        return None;
     };
     let cursor_ty = function.vars[pattern.cursor].ty;
 
@@ -177,9 +184,10 @@ fn rewrite(function: &mut Function, pattern: &CursorPattern) {
         let nodes = &mut function.regions[region_id].nodes;
         if let Some(position) = nodes.iter().position(|&n| n == pattern.loop_node) {
             nodes[position] = for_node;
-            break;
+            return Some(region_id);
         }
     }
+    None
 }
 
 #[cfg(test)]
