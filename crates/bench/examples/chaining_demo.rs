@@ -9,7 +9,7 @@
 
 use spark_ir::{Cfg, FunctionBuilder, OpKind, Type, Value};
 use spark_sched::{
-    insert_wire_variables, schedule, validate_chaining, Constraints, DependenceGraph,
+    insert_wire_variables_logged, schedule, validate_chaining, Constraints, DependenceGraph,
     ResourceLibrary,
 };
 
@@ -52,8 +52,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  <{}>", labels.join(", "));
     }
 
-    // Schedule for a single cycle and insert wire-variables.
-    let graph = DependenceGraph::build(&f)?;
+    // Schedule for a single cycle and insert wire-variables. The insertion
+    // emits a structured edit log, and the dependence graph is patched in
+    // place from it instead of being rebuilt (debug builds cross-check the
+    // patch against a from-scratch rebuild).
+    let mut graph = DependenceGraph::build(&f)?;
     let library = ResourceLibrary::new();
     let mut sched = schedule(
         &f,
@@ -61,8 +64,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &library,
         &Constraints::microprocessor_block(10.0),
     )?;
-    let wires = insert_wire_variables(&mut f, &mut sched);
-    let graph = DependenceGraph::build(&f)?;
+    let (wires, edits) = insert_wire_variables_logged(&mut f, &mut sched);
+    graph.apply_wire_edits(&f, &edits);
     let chaining = validate_chaining(&f, &graph, &sched, &library)?;
 
     println!("\n== after wire-variable insertion (Figures 6-7) ==\n{f}");

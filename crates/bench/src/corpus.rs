@@ -88,17 +88,32 @@ pub fn check_rtl_matches_interp(
         ));
     }
     let interpreter = Interpreter::new(&compiled.program);
-    for seed in seeds {
-        let env = random_env_for(function, seed);
+    // One batch RTL simulation over the whole seeded workload: the simulator
+    // reuses its value tables across buffers instead of reallocating per run.
+    let seeds: Vec<u64> = seeds.into_iter().collect();
+    let envs: Vec<Env> = seeds
+        .iter()
+        .map(|&seed| random_env_for(function, seed))
+        .collect();
+    let outcomes = result.simulate_batch(&envs).map_err(|e| {
+        // Cold path: re-identify the failing seed for the report, since the
+        // batch entry point only surfaces the first error.
+        match seeds
+            .iter()
+            .zip(&envs)
+            .find(|(_, env)| result.simulate(env).is_err())
+        {
+            Some((seed, _)) => format!("RTL simulation failed (seed {seed}): {e}"),
+            None => format!("RTL simulation failed: {e}"),
+        }
+    })?;
+    for ((&seed, env), rtl) in seeds.iter().zip(&envs).zip(outcomes) {
         let interp = interpreter
-            .run(top, &env)
+            .run(top, env)
             .map_err(|e| format!("interpreter failed (seed {seed}): {e}"))?;
         let direct = compiled
-            .evaluate(top, &env)
+            .evaluate(top, env)
             .map_err(|e| format!("AST evaluator failed (seed {seed}): {e}"))?;
-        let rtl = result
-            .simulate(&env)
-            .map_err(|e| format!("RTL simulation failed (seed {seed}): {e}"))?;
         for (name, is_array) in &outputs {
             if *is_array {
                 let want = interp.array(name).unwrap_or(&[]);

@@ -82,7 +82,9 @@ pub fn bench_json(records: &[BenchRecord]) -> String {
         out.push_str(&format!(
             "    {{\"mode\": \"{}\", \"n\": {}, \"mean_ms\": {:.3}, \"iters\": {}, \
              \"transform_ms\": {:.3}, \"schedule_ms\": {:.3}, \"bind_ms\": {:.3}, \
-             \"rtl_ms\": {:.3}}}{comma}\n",
+             \"rtl_ms\": {:.3}, \
+             \"sched_deps_ms\": {:.3}, \"sched_list_ms\": {:.3}, \"sched_wires_ms\": {:.3}, \
+             \"sched_validate_ms\": {:.3}, \"sched_controller_ms\": {:.3}}}{comma}\n",
             record.mode,
             record.n,
             record.mean_ms,
@@ -90,7 +92,12 @@ pub fn bench_json(records: &[BenchRecord]) -> String {
             record.phases.transform_ms,
             record.phases.schedule_ms,
             record.phases.bind_ms,
-            record.phases.rtl_ms
+            record.phases.rtl_ms,
+            record.phases.sched_deps_ms,
+            record.phases.sched_list_ms,
+            record.phases.sched_wires_ms,
+            record.phases.sched_validate_ms,
+            record.phases.sched_controller_ms
         ));
     }
     out.push_str("  ]\n}\n");
@@ -110,12 +117,23 @@ mod tests {
         assert_eq!(modes, vec!["coordinated", "baseline", "natural"]);
         // The phase breakdown accounts for real time in every phase of the
         // run (transform and schedule dominate; bind/rtl may be tiny but
-        // must be non-negative).
+        // must be non-negative), and the schedule sub-phases account for the
+        // schedule phase exactly.
         for record in &records {
             assert!(record.phases.transform_ms > 0.0, "{}", record.mode);
             assert!(record.phases.schedule_ms > 0.0, "{}", record.mode);
             assert!(record.phases.bind_ms >= 0.0);
             assert!(record.phases.rtl_ms >= 0.0);
+            let sub_total = record.phases.sched_deps_ms
+                + record.phases.sched_list_ms
+                + record.phases.sched_wires_ms
+                + record.phases.sched_validate_ms
+                + record.phases.sched_controller_ms;
+            assert!(
+                (sub_total - record.phases.schedule_ms).abs() < 1e-9,
+                "{}: schedule sub-phases must sum to the phase total",
+                record.mode
+            );
         }
     }
 
@@ -131,6 +149,11 @@ mod tests {
                     schedule_ms: 0.4,
                     bind_ms: 0.1,
                     rtl_ms: 0.1,
+                    sched_deps_ms: 0.15,
+                    sched_list_ms: 0.1,
+                    sched_wires_ms: 0.1,
+                    sched_validate_ms: 0.03,
+                    sched_controller_ms: 0.02,
                 },
                 iters: 3,
             },
@@ -148,6 +171,12 @@ mod tests {
         assert!(json.contains("\"mode\": \"coordinated\", \"n\": 8, \"mean_ms\": 1.500"));
         assert!(json.contains("\"transform_ms\": 0.900"));
         assert!(json.contains("\"schedule_ms\": 0.400"));
+        // The schedule-phase sub-breakdown CI guards against losing these.
+        assert!(json.contains("\"sched_deps_ms\": 0.150"));
+        assert!(json.contains("\"sched_list_ms\": 0.100"));
+        assert!(json.contains("\"sched_wires_ms\": 0.100"));
+        assert!(json.contains("\"sched_validate_ms\": 0.030"));
+        assert!(json.contains("\"sched_controller_ms\": 0.020"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         // Exactly one separating comma between the two records.
         assert_eq!(json.matches("},\n").count(), 1);
@@ -161,17 +190,32 @@ mod tests {
             schedule_ms: 4.0,
             bind_ms: 6.0,
             rtl_ms: 8.0,
+            sched_deps_ms: 1.0,
+            sched_list_ms: 1.0,
+            sched_wires_ms: 1.0,
+            sched_validate_ms: 0.5,
+            sched_controller_ms: 0.5,
         });
         total.accumulate(&PhaseBreakdown {
             transform_ms: 4.0,
             schedule_ms: 4.0,
             bind_ms: 2.0,
             rtl_ms: 0.0,
+            sched_deps_ms: 1.0,
+            sched_list_ms: 3.0,
+            sched_wires_ms: 0.0,
+            sched_validate_ms: 0.0,
+            sched_controller_ms: 0.0,
         });
         total.scale(2.0);
         assert_eq!(total.transform_ms, 3.0);
         assert_eq!(total.schedule_ms, 4.0);
         assert_eq!(total.bind_ms, 4.0);
         assert_eq!(total.rtl_ms, 4.0);
+        assert_eq!(total.sched_deps_ms, 1.0);
+        assert_eq!(total.sched_list_ms, 2.0);
+        assert_eq!(total.sched_wires_ms, 0.5);
+        assert_eq!(total.sched_validate_ms, 0.25);
+        assert_eq!(total.sched_controller_ms, 0.25);
     }
 }

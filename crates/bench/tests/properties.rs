@@ -8,6 +8,9 @@ use spark_ild::{buffer_env, build_ild_program, decode_marks, ILD_FUNCTION};
 use spark_ir::{
     verify, DefUseGraph, Env, Function, FunctionBuilder, Interpreter, OpKind, Program, Type, Value,
 };
+use spark_sched::{
+    insert_wire_variables_logged, schedule, Constraints, DependenceGraph, ResourceLibrary,
+};
 use spark_transforms as xf;
 
 // ---------------------------------------------------------------------------
@@ -327,6 +330,71 @@ proptest! {
         let after = Interpreter::new(&transformed.program).run("gen", &env).unwrap();
         prop_assert_eq!(before.scalar("out0"), after.scalar("out0"));
         prop_assert_eq!(before.scalar("out1"), after.scalar("out1"));
+    }
+
+    /// The incrementally patched post-wire dependence graph equals a
+    /// from-scratch rebuild — same operation order, same guards, same edge
+    /// multiset per operation — on arbitrary generated programs scheduled at
+    /// an arbitrary clock period. (Debug builds also assert this inside
+    /// `apply_wire_edits`; this property pins it at the suite level, across
+    /// periods that produce single-state chains, multi-state schedules and
+    /// conditional writers.)
+    #[test]
+    fn patched_dependence_graph_equals_rebuild(
+        script in proptest::collection::vec(any::<u8>(), 64),
+        // Lower bound just above the slowest functional unit (mul, 6.0 ns)
+        // so every generated program is schedulable; the range still covers
+        // tight multi-state schedules and generous single-state chains.
+        period_tenths in 61u64..200,
+    ) {
+        let mut f = build_scripted_function(&script);
+        xf::unroll_all_loops(&mut f);
+        let pre_wire = DependenceGraph::build(&f).unwrap();
+        let library = ResourceLibrary::new();
+        let constraints = Constraints::microprocessor_block(period_tenths as f64 / 10.0);
+        let mut sched = schedule(&f, &pre_wire, &library, &constraints).unwrap();
+        let (_, log) = insert_wire_variables_logged(&mut f, &mut sched);
+        let mut patched = pre_wire.clone();
+        patched.apply_wire_edits(&f, &log);
+        let rebuilt = DependenceGraph::build(&f).unwrap();
+        if let Err(difference) = patched.same_dependences(&rebuilt) {
+            panic!("patched dependence graph diverges from rebuild: {difference}");
+        }
+    }
+
+    /// The interned-guard mutual-exclusion bitset answers every operation
+    /// pair exactly as the term-by-term `Guard::mutually_exclusive`
+    /// reference, on arbitrary generated programs (nested conditionals
+    /// included), both before and after wire insertion.
+    #[test]
+    fn interned_guard_exclusion_matches_reference(
+        script in proptest::collection::vec(any::<u8>(), 64),
+    ) {
+        let mut f = build_scripted_function(&script);
+        xf::unroll_all_loops(&mut f);
+        let graph = DependenceGraph::build(&f).unwrap();
+        let library = ResourceLibrary::new();
+        let mut sched = schedule(
+            &f,
+            &graph,
+            &library,
+            &Constraints::microprocessor_block(50.0),
+        )
+        .unwrap();
+        let (_, log) = insert_wire_variables_logged(&mut f, &mut sched);
+        let mut patched = graph.clone();
+        patched.apply_wire_edits(&f, &log);
+        for g in [&graph, &patched] {
+            for &a in &g.order {
+                for &b in &g.order {
+                    prop_assert_eq!(
+                        g.mutually_exclusive(a, b),
+                        g.guard_of(a).mutually_exclusive(&g.guard_of(b)),
+                        "ops {:?} / {:?}", a, b
+                    );
+                }
+            }
+        }
     }
 
     /// `SecondaryMap` round-trips an arbitrary insert/remove script against a

@@ -1,0 +1,86 @@
+//! Pins the dependence-graph construction contract of the scheduling
+//! substrate: **exactly one** from-scratch `DependenceGraph::build` per
+//! synthesis point — the post-wire graph is patched, never rebuilt — and one
+//! shared pre-wire graph across every point of a clock sweep.
+//!
+//! This file is its own test binary, so `DependenceGraph::build_count()`
+//! moves only under the calls made here; everything runs inside a single
+//! `#[test]` to keep the counter deterministic.
+
+use spark_core::{
+    explore_configurations, sweep_clock_period, synthesize, transform_program, FlowOptions,
+};
+use spark_ild::{build_ild_program, ILD_FUNCTION};
+use spark_sched::DependenceGraph;
+
+#[test]
+fn one_graph_build_per_synthesis_point_and_one_per_sweep() {
+    let program = build_ild_program(8);
+
+    // A full synthesize run: transform + schedule + wire insertion +
+    // validation + controller — exactly one from-scratch graph build.
+    let before = DependenceGraph::build_count();
+    let result = synthesize(
+        &program,
+        ILD_FUNCTION,
+        &FlowOptions::microprocessor_block(200.0),
+    )
+    .expect("synthesis succeeds");
+    assert!(result.is_single_cycle());
+    assert_eq!(
+        DependenceGraph::build_count(),
+        before + 1,
+        "one synthesis point must build the dependence graph exactly once \
+         (wire insertion patches the pre-wire graph instead of rebuilding)"
+    );
+
+    // A clock sweep: every period point schedules against the transformed
+    // program's shared SchedContext — one build for the whole sweep.
+    let before = DependenceGraph::build_count();
+    let points = sweep_clock_period(&program, ILD_FUNCTION, &[50.0, 100.0, 200.0, 500.0]).unwrap();
+    assert_eq!(points.len(), 4);
+    assert!(points.iter().filter(|p| p.report.is_some()).count() >= 2);
+    assert_eq!(
+        DependenceGraph::build_count(),
+        before + 1,
+        "a clock sweep must share one pre-wire dependence graph across points"
+    );
+
+    // Infeasible points (schedule errors) do not force extra builds either.
+    let before = DependenceGraph::build_count();
+    let points = sweep_clock_period(&program, ILD_FUNCTION, &[0.01, 0.02, 300.0]).unwrap();
+    assert!(points[0].report.is_none() && points[1].report.is_none());
+    assert_eq!(DependenceGraph::build_count(), before + 1);
+
+    // The DSE helper: one build per distinct transform-flag group, shared by
+    // all points of the group.
+    let before = DependenceGraph::build_count();
+    let configurations = vec![
+        ("fast".to_string(), FlowOptions::microprocessor_block(100.0)),
+        ("slow".to_string(), FlowOptions::microprocessor_block(500.0)),
+        ("baseline".to_string(), FlowOptions::asic_baseline(20.0)),
+    ];
+    let exploration = explore_configurations(&program, ILD_FUNCTION, &configurations).unwrap();
+    assert_eq!(exploration.transform_runs, 2);
+    assert_eq!(
+        DependenceGraph::build_count(),
+        before + 2,
+        "one graph build per transform group, not per configuration"
+    );
+
+    // An explicit transform + repeated back-half synthesis: the context is
+    // built lazily on the first point and reused afterwards.
+    let transformed = transform_program(
+        &program,
+        ILD_FUNCTION,
+        &FlowOptions::microprocessor_block(1.0),
+    )
+    .unwrap();
+    let before = DependenceGraph::build_count();
+    for period in [100.0, 200.0, 400.0] {
+        let options = FlowOptions::microprocessor_block(period);
+        let point = spark_core::synthesize_transformed(&transformed, &options).unwrap();
+        assert!(point.report.critical_path_ns <= period);
+    }
+    assert_eq!(DependenceGraph::build_count(), before + 1);
+}

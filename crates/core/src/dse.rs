@@ -40,6 +40,11 @@ pub fn sweep_clock_period(
     // The transformation switches do not depend on the period, so any period
     // yields the same transformed program; scheduling gets the real one.
     let transformed = transform_program(program, top, &FlowOptions::microprocessor_block(1.0))?;
+    // Build the shared scheduling context (pre-wire dependence graph, guard
+    // table, op → block map) once up front instead of having every worker
+    // block on the first point's lazy build. Loop/call errors are surfaced
+    // per point, exactly as scheduling reported them before.
+    let _ = transformed.sched_context();
     Ok(par_map(periods_ns, |&period| {
         let options = FlowOptions::microprocessor_block(period);
         let report = match synthesize_transformed(&transformed, &options) {
@@ -134,7 +139,11 @@ pub fn explore_configurations(
         });
     let mut shared: Vec<TransformedProgram> = Vec::with_capacity(transformed.len());
     for result in transformed {
-        shared.push(result?);
+        let group = result?;
+        // One scheduling context per transform group, shared by every point
+        // scheduled against it (errors surface per point, as before).
+        let _ = group.sched_context();
+        shared.push(group);
     }
 
     // Schedule every point against its group's transformed program.

@@ -11,14 +11,15 @@
 //! stage so the figure-by-figure evolution of the design can be reproduced.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 use std::time::Instant;
 
 use spark_bind::{Binding, LifetimeAnalysis};
 use spark_ir::{Env, Function, FunctionStats, OpId, Program, RegionId};
 use spark_rtl::{DatapathReport, RtlOutcome, RtlSimError, RtlSimulator, VhdlEmitter};
 use spark_sched::{
-    insert_wire_variables, schedule, validate_chaining, ChainingReport, Constraints, Controller,
-    DependenceGraph, ResourceLibrary, SchedError, Schedule, WireReport,
+    insert_wire_variables_logged, schedule_in, validate_chaining, ChainingReport, Constraints,
+    Controller, DependenceGraph, ResourceLibrary, SchedContext, SchedError, Schedule, WireReport,
 };
 use spark_transforms as xf;
 
@@ -208,6 +209,16 @@ impl SynthesisResult {
         RtlSimulator::new(&self.function, &self.graph, &self.schedule).run(env)
     }
 
+    /// Simulates the generated design on a whole workload of input sets,
+    /// reusing the simulator's value tables across buffers — the batch entry
+    /// point for corpus checks and workload sweeps.
+    ///
+    /// # Errors
+    /// Returns [`RtlSimError`] on the first failing input set.
+    pub fn simulate_batch(&self, envs: &[Env]) -> Result<Vec<RtlOutcome>, RtlSimError> {
+        RtlSimulator::new(&self.function, &self.graph, &self.schedule).run_batch(envs)
+    }
+
     /// True when the design fits a single cycle — the architecture the
     /// paper's methodology targets (Figure 15).
     pub fn is_single_cycle(&self) -> bool {
@@ -222,7 +233,7 @@ impl SynthesisResult {
 /// transformation pipeline once and then schedule each period point against
 /// the same transformed program — see
 /// [`sweep_clock_period`](crate::sweep_clock_period).
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct TransformedProgram {
     /// The transformed program.
     pub program: Program,
@@ -232,6 +243,49 @@ pub struct TransformedProgram {
     pub pass_log: Vec<xf::Report>,
     /// Per-stage structural snapshots (Figures 10–15 evolution).
     pub stages: Vec<StageSnapshot>,
+    /// Lazily built scheduling context (pre-wire dependence graph, interned
+    /// guard table, op → block map), shared by every clock-sweep / DSE point
+    /// scheduled against this program. See
+    /// [`TransformedProgram::sched_context`].
+    sched: OnceLock<Result<SchedContext, SchedError>>,
+}
+
+impl TransformedProgram {
+    /// The clock-agnostic scheduling context of the transformed top-level
+    /// function, built on first use and shared by every subsequent
+    /// [`synthesize_transformed`] call on this program — a clock sweep builds
+    /// the dependence graph **once**, not once per period point.
+    ///
+    /// # Errors
+    /// Returns [`SchedError`] when the transformed function still contains
+    /// loops or calls (e.g. unrolling was disabled on a looping program).
+    pub fn sched_context(&self) -> Result<&SchedContext, SchedError> {
+        let result = self.sched.get_or_init(|| {
+            SchedContext::build(self.program.function(&self.top).expect("top exists"))
+        });
+        match result {
+            Ok(context) => Ok(context),
+            Err(error) => Err(error.clone()),
+        }
+    }
+}
+
+impl Clone for TransformedProgram {
+    fn clone(&self) -> Self {
+        // Carry an already-built context over to the clone instead of
+        // forcing a rebuild there.
+        let sched = OnceLock::new();
+        if let Some(built) = self.sched.get() {
+            let _ = sched.set(built.clone());
+        }
+        TransformedProgram {
+            program: self.program.clone(),
+            top: self.top.clone(),
+            pass_log: self.pass_log.clone(),
+            stages: self.stages.clone(),
+            sched,
+        }
+    }
 }
 
 /// Global count of [`transform_program`] executions, for cache-hit
@@ -525,6 +579,7 @@ impl<'a> PassManager<'a> {
             top: self.top,
             pass_log: self.pass_log,
             stages: self.stages,
+            sched: OnceLock::new(),
         })
     }
 }
@@ -559,12 +614,26 @@ pub struct PhaseBreakdown {
     /// Transformation pipeline ([`transform_program`]).
     pub transform_ms: f64,
     /// Dependence graph, scheduling, wire-variable insertion, chaining
-    /// validation and controller construction.
+    /// validation and controller construction — the sum of the five
+    /// `sched_*_ms` sub-phases below.
     pub schedule_ms: f64,
     /// Lifetime analysis and register/FU binding.
     pub bind_ms: f64,
     /// Datapath report construction (the RTL-level summary).
     pub rtl_ms: f64,
+    /// Schedule sub-phase: dependence-graph / scheduling-context
+    /// construction. Zero when the sweep-shared context was already built by
+    /// an earlier point ([`TransformedProgram::sched_context`]).
+    pub sched_deps_ms: f64,
+    /// Schedule sub-phase: the chaining-aware list scheduler itself.
+    pub sched_list_ms: f64,
+    /// Schedule sub-phase: wire-variable insertion plus the incremental
+    /// dependence-graph patch.
+    pub sched_wires_ms: f64,
+    /// Schedule sub-phase: chaining-trail validation.
+    pub sched_validate_ms: f64,
+    /// Schedule sub-phase: FSM controller construction.
+    pub sched_controller_ms: f64,
 }
 
 impl PhaseBreakdown {
@@ -574,6 +643,11 @@ impl PhaseBreakdown {
         self.schedule_ms += other.schedule_ms;
         self.bind_ms += other.bind_ms;
         self.rtl_ms += other.rtl_ms;
+        self.sched_deps_ms += other.sched_deps_ms;
+        self.sched_list_ms += other.sched_list_ms;
+        self.sched_wires_ms += other.sched_wires_ms;
+        self.sched_validate_ms += other.sched_validate_ms;
+        self.sched_controller_ms += other.sched_controller_ms;
     }
 
     /// Divides every phase time by `n` (for averaging over iterations).
@@ -582,6 +656,11 @@ impl PhaseBreakdown {
         self.schedule_ms /= n;
         self.bind_ms /= n;
         self.rtl_ms /= n;
+        self.sched_deps_ms /= n;
+        self.sched_list_ms /= n;
+        self.sched_wires_ms /= n;
+        self.sched_validate_ms /= n;
+        self.sched_controller_ms /= n;
     }
 }
 
@@ -621,18 +700,41 @@ pub fn synthesize_transformed_timed(
     let working = &transformed.program;
 
     // ---- Scheduling, chaining, binding, RTL --------------------------------
+    // The pre-wire dependence graph (with its interned guard table) and the
+    // op → block map come from the sweep-shared context: built at most once
+    // per transformed program, not once per clock point.
+    let started = Instant::now();
+    let context = transformed.sched_context()?;
+    breakdown.sched_deps_ms = ms_since(started);
+
     let started = Instant::now();
     let mut function = working.function(top).expect("top exists").clone();
-    let graph = DependenceGraph::build(&function)?;
     let constraints = options.constraints();
-    let mut sched = schedule(&function, &graph, &library, &constraints)?;
-    let wire_report = insert_wire_variables(&mut function, &mut sched);
-    // Wire insertion adds blocks/ops: rebuild the dependence graph so guards
-    // and the controller see the final structure.
-    let graph = DependenceGraph::build(&function)?;
+    let mut sched = schedule_in(&function, context, &library, &constraints)?;
+    breakdown.sched_list_ms = ms_since(started);
+
+    // Wire insertion adds blocks/ops and redirects operands; instead of
+    // rebuilding the dependence graph from scratch, patch a copy of the
+    // shared pre-wire graph from the structured edit log.
+    let started = Instant::now();
+    let (wire_report, wire_edits) = insert_wire_variables_logged(&mut function, &mut sched);
+    let mut graph = context.graph.clone();
+    graph.apply_wire_edits(&function, &wire_edits);
+    breakdown.sched_wires_ms = ms_since(started);
+
+    let started = Instant::now();
     let chaining = validate_chaining(&function, &graph, &sched, &library)?;
+    breakdown.sched_validate_ms = ms_since(started);
+
+    let started = Instant::now();
     let controller = Controller::build(&function, &graph, &sched);
-    breakdown.schedule_ms = ms_since(started);
+    breakdown.sched_controller_ms = ms_since(started);
+
+    breakdown.schedule_ms = breakdown.sched_deps_ms
+        + breakdown.sched_list_ms
+        + breakdown.sched_wires_ms
+        + breakdown.sched_validate_ms
+        + breakdown.sched_controller_ms;
 
     let started = Instant::now();
     let lifetimes = LifetimeAnalysis::compute(&function, &sched);

@@ -32,7 +32,7 @@ impl DefUse {
         let mut info = DefUse::default();
         for op_id in function.live_ops() {
             let op = &function.ops[op_id];
-            for used in op.uses() {
+            for used in op.uses_iter() {
                 info.uses.entry(used).or_default().push(op_id);
             }
             if let Some(defined) = op.def() {

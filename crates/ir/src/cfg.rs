@@ -212,6 +212,16 @@ impl Cfg {
         trails
     }
 
+    /// Creates a [`TrailCounter`] over this CFG: capped backward-trail counts
+    /// with a memo shared across queries, for loop-free (DAG) functions.
+    pub fn trail_counter(&self, limit: usize) -> TrailCounter<'_> {
+        TrailCounter {
+            cfg: self,
+            memo: vec![None; self.nodes.len()],
+            limit: limit.max(1),
+        }
+    }
+
     fn trails_rec(
         &self,
         node: usize,
@@ -244,6 +254,54 @@ impl Cfg {
             }
         }
         on_path[node] = false;
+    }
+}
+
+/// Saturating backward-trail counter for **loop-free** functions.
+///
+/// On a DAG, `count(block)` equals `backward_trails(block, limit).len()` —
+/// `min(limit, total acyclic trails)` — but is computed by a memoized
+/// path-count recurrence (`count(entry) = 1`, `count(n) = Σ count(pred)`,
+/// saturating at the limit) instead of enumerating and copying every trail,
+/// and the memo is shared across all queried blocks. On the fully unrolled
+/// ILD the trail population is exponential in the conditional depth, so this
+/// is the difference between microseconds and milliseconds per block.
+pub struct TrailCounter<'a> {
+    cfg: &'a Cfg,
+    memo: Vec<Option<usize>>,
+    limit: usize,
+}
+
+impl TrailCounter<'_> {
+    /// Number of backward trails from `block` to the entry, capped at the
+    /// counter's limit. Unknown blocks have no trails.
+    pub fn count(&mut self, block: BlockId) -> usize {
+        let Some(&start) = self.cfg.block_index.get(&block) else {
+            return 0;
+        };
+        self.count_node(start)
+    }
+
+    fn count_node(&mut self, node: usize) -> usize {
+        if let Some(count) = self.memo[node] {
+            return count;
+        }
+        let count = if node == self.cfg.entry || self.cfg.nodes[node].preds.is_empty() {
+            1
+        } else {
+            let mut total = 0usize;
+            for index in 0..self.cfg.nodes[node].preds.len() {
+                let pred = self.cfg.nodes[node].preds[index];
+                total = total.saturating_add(self.count_node(pred));
+                if total >= self.limit {
+                    total = self.limit;
+                    break;
+                }
+            }
+            total
+        };
+        self.memo[node] = Some(count);
+        count
     }
 }
 
@@ -311,6 +369,24 @@ mod tests {
         let trails = cfg.backward_trails(blocks[0], 16);
         assert_eq!(trails.len(), 1);
         assert_eq!(trails[0], vec![blocks[0]]);
+    }
+
+    #[test]
+    fn trail_counter_matches_enumeration_on_dags() {
+        let f = nested_ifs();
+        let cfg = Cfg::build(&f);
+        let mut counter = cfg.trail_counter(64);
+        for block in cfg.blocks() {
+            assert_eq!(
+                counter.count(block),
+                cfg.backward_trails(block, 64).len(),
+                "block {block:?}"
+            );
+        }
+        // A tight limit saturates identically on both sides.
+        let mut capped = cfg.trail_counter(2);
+        let reader = *f.blocks_in_region(f.body).last().unwrap();
+        assert_eq!(capped.count(reader), cfg.backward_trails(reader, 2).len());
     }
 
     #[test]

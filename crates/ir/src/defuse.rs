@@ -222,7 +222,7 @@ impl DefUseGraph {
     /// Links every use and the def of a live operation.
     fn link_op(&mut self, function: &Function, op: OpId) {
         let data = &function.ops[op];
-        for used in data.uses() {
+        for used in data.uses_iter() {
             self.link_use(used, op);
         }
         if let Some(defined) = data.def() {
@@ -232,7 +232,7 @@ impl DefUseGraph {
 
     fn unlink_op(&mut self, function: &Function, op: OpId) {
         let data = &function.ops[op];
-        for used in data.uses() {
+        for used in data.uses_iter() {
             self.unlink_use(used, op);
         }
         if let Some(defined) = data.def() {

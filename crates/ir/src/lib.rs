@@ -68,7 +68,7 @@ pub use analysis::{DefUse, FunctionStats};
 pub use arena::{Arena, Id};
 pub use block::{BasicBlock, BlockId};
 pub use builder::FunctionBuilder;
-pub use cfg::{Cfg, CfgNode, CfgNodeKind};
+pub use cfg::{Cfg, CfgNode, CfgNodeKind, TrailCounter};
 pub use defuse::{DefUseGraph, EditLog, Rewriter};
 pub use dense::{DenseKey, SecondaryMap};
 pub use function::Function;

@@ -202,11 +202,18 @@ impl Operation {
 
     /// Variables read by this operation (operands plus array sources).
     pub fn uses(&self) -> Vec<VarId> {
-        let mut used: Vec<VarId> = self.args.iter().filter_map(|v| v.as_var()).collect();
-        if let OpKind::ArrayRead { array } = self.kind {
-            used.push(array);
-        }
-        used
+        self.uses_iter().collect()
+    }
+
+    /// Allocation-free variant of [`Operation::uses`], yielding one variable
+    /// per operand *occurrence* (a twice-used variable appears twice) in the
+    /// same order — for the analysis inner loops that visit every operation.
+    pub fn uses_iter(&self) -> impl Iterator<Item = VarId> + '_ {
+        let array = match self.kind {
+            OpKind::ArrayRead { array } => Some(array),
+            _ => None,
+        };
+        self.args.iter().filter_map(|v| v.as_var()).chain(array)
     }
 
     /// Variable defined by this operation: the scalar destination, or the

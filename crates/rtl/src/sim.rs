@@ -19,7 +19,7 @@
 
 use std::collections::BTreeMap;
 
-use spark_ir::{Env, Function, OpKind, PortDirection, SecondaryMap, Type, Value, VarId};
+use spark_ir::{Env, Function, OpId, OpKind, PortDirection, SecondaryMap, Type, Value, VarId};
 use spark_sched::{DependenceGraph, Guard, Schedule};
 
 /// Result of one block evaluation (one pass through all FSM states).
@@ -73,6 +73,24 @@ impl std::fmt::Display for RtlSimError {
 
 impl std::error::Error for RtlSimError {}
 
+/// Reusable value tables of one simulator run. Holding these across
+/// [`RtlSimulator::run_batch`] iterations lets every buffer after the first
+/// reuse the allocations of the scalar register file and the per-state
+/// snapshot/next tables instead of reallocating them per input set. (The
+/// array store still collects one fresh `Vec` per array variable per run —
+/// the env binding is cloned anyway.)
+#[derive(Clone, Debug, Default)]
+struct SimTables {
+    registers: SecondaryMap<VarId, u64>,
+    arrays: SecondaryMap<VarId, Vec<u64>>,
+    register_snapshot: SecondaryMap<VarId, u64>,
+    array_snapshot: SecondaryMap<VarId, Vec<u64>>,
+    wires: SecondaryMap<VarId, u64>,
+    next_registers: SecondaryMap<VarId, u64>,
+    next_arrays: SecondaryMap<VarId, Vec<u64>>,
+    written_this_state: SecondaryMap<VarId, ()>,
+}
+
 /// Cycle-accurate simulator for a scheduled function.
 #[derive(Clone, Debug)]
 pub struct RtlSimulator<'a> {
@@ -97,11 +115,47 @@ impl<'a> RtlSimulator<'a> {
     /// Returns [`RtlSimError`] on out-of-bounds array accesses or operations
     /// that have no datapath implementation (calls).
     pub fn run(&self, env: &Env) -> Result<RtlOutcome, RtlSimError> {
+        let program_order = self.function.live_ops();
+        self.run_with(env, &program_order, &mut SimTables::default())
+    }
+
+    /// Runs one block evaluation per input set, in order, reusing the value
+    /// tables (register file, array store, per-state snapshots) and the
+    /// program-order op list across buffers. With the per-buffer setup
+    /// amortised this is the preferred entry point for workloads — corpus
+    /// checks, golden-model sweeps — that simulate the same design on many
+    /// input sets.
+    ///
+    /// # Errors
+    /// Returns [`RtlSimError`] on the first failing input set.
+    pub fn run_batch(&self, envs: &[Env]) -> Result<Vec<RtlOutcome>, RtlSimError> {
+        let program_order = self.function.live_ops();
+        let mut tables = SimTables::default();
+        envs.iter()
+            .map(|env| self.run_with(env, &program_order, &mut tables))
+            .collect()
+    }
+
+    fn run_with(
+        &self,
+        env: &Env,
+        program_order: &[OpId],
+        tables: &mut SimTables,
+    ) -> Result<RtlOutcome, RtlSimError> {
         let function = self.function;
         // Register file and array state, in dense per-variable tables.
-        let capacity = function.vars.len();
-        let mut registers: SecondaryMap<VarId, u64> = SecondaryMap::with_capacity(capacity);
-        let mut arrays: SecondaryMap<VarId, Vec<u64>> = SecondaryMap::with_capacity(capacity);
+        let SimTables {
+            registers,
+            arrays,
+            register_snapshot,
+            array_snapshot,
+            wires,
+            next_registers,
+            next_arrays,
+            written_this_state,
+        } = tables;
+        registers.clear();
+        arrays.clear();
         for (var_id, var) in function.vars.iter() {
             match var.storage {
                 spark_ir::StorageClass::Array { length } => {
@@ -121,23 +175,21 @@ impl<'a> RtlSimulator<'a> {
             }
         }
 
-        // Ops per state, in program order.
-        let program_order = function.live_ops();
         let num_states = self.schedule.num_states.max(1);
+        let unconditional = Guard::default();
 
         for state in 0..num_states {
-            let register_snapshot = registers.clone();
-            let array_snapshot = arrays.clone();
-            let mut wires: SecondaryMap<VarId, u64> = SecondaryMap::with_capacity(capacity);
-            let mut next_registers = registers.clone();
-            let mut next_arrays = arrays.clone();
+            register_snapshot.clone_from(registers);
+            array_snapshot.clone_from(arrays);
+            wires.clear();
+            next_registers.clone_from(registers);
+            next_arrays.clone_from(arrays);
             // Registers already written earlier in this state. Data operands
             // must go through wire-variables to see such values (that is what
             // Section 3.1.2 is about), but the *controller* taps condition
             // signals combinationally: a branch condition computed in this
             // cycle steers the commits of this same cycle.
-            let mut written_this_state: SecondaryMap<VarId, ()> =
-                SecondaryMap::with_capacity(capacity);
+            written_this_state.clear();
 
             let read = |value: Value, wires: &SecondaryMap<VarId, u64>| -> u64 {
                 match value {
@@ -179,50 +231,50 @@ impl<'a> RtlSimulator<'a> {
                 })
             };
 
-            for &op_id in &program_order {
+            for &op_id in program_order {
                 if self.schedule.op_state.get(&op_id) != Some(&state) {
                     continue;
                 }
                 let op = &function.ops[op_id];
-                let guard = self.graph.guard_of(op_id);
-                if !guard_holds(&guard, &wires, &next_registers, &written_this_state) {
+                let guard = self.graph.guard_ref(op_id).unwrap_or(&unconditional);
+                if !guard_holds(guard, wires, next_registers, written_this_state) {
                     continue;
                 }
                 let a = |i: usize| op.args.get(i).copied().unwrap_or(Value::word(0));
                 let result: Option<u64> = match &op.kind {
-                    OpKind::Add => Some(read(a(0), &wires).wrapping_add(read(a(1), &wires))),
-                    OpKind::Sub => Some(read(a(0), &wires).wrapping_sub(read(a(1), &wires))),
-                    OpKind::Mul => Some(read(a(0), &wires).wrapping_mul(read(a(1), &wires))),
-                    OpKind::And => Some(read(a(0), &wires) & read(a(1), &wires)),
-                    OpKind::Or => Some(read(a(0), &wires) | read(a(1), &wires)),
-                    OpKind::Xor => Some(read(a(0), &wires) ^ read(a(1), &wires)),
-                    OpKind::Not => Some(!read(a(0), &wires)),
-                    OpKind::Shl => Some(read(a(0), &wires) << read(a(1), &wires).min(63)),
-                    OpKind::Shr => Some(read(a(0), &wires) >> read(a(1), &wires).min(63)),
-                    OpKind::Eq => Some((read(a(0), &wires) == read(a(1), &wires)) as u64),
-                    OpKind::Ne => Some((read(a(0), &wires) != read(a(1), &wires)) as u64),
-                    OpKind::Lt => Some((read(a(0), &wires) < read(a(1), &wires)) as u64),
-                    OpKind::Le => Some((read(a(0), &wires) <= read(a(1), &wires)) as u64),
-                    OpKind::Gt => Some((read(a(0), &wires) > read(a(1), &wires)) as u64),
-                    OpKind::Ge => Some((read(a(0), &wires) >= read(a(1), &wires)) as u64),
-                    OpKind::Copy => Some(read(a(0), &wires)),
-                    OpKind::Select => Some(if read(a(0), &wires) != 0 {
-                        read(a(1), &wires)
+                    OpKind::Add => Some(read(a(0), wires).wrapping_add(read(a(1), wires))),
+                    OpKind::Sub => Some(read(a(0), wires).wrapping_sub(read(a(1), wires))),
+                    OpKind::Mul => Some(read(a(0), wires).wrapping_mul(read(a(1), wires))),
+                    OpKind::And => Some(read(a(0), wires) & read(a(1), wires)),
+                    OpKind::Or => Some(read(a(0), wires) | read(a(1), wires)),
+                    OpKind::Xor => Some(read(a(0), wires) ^ read(a(1), wires)),
+                    OpKind::Not => Some(!read(a(0), wires)),
+                    OpKind::Shl => Some(read(a(0), wires) << read(a(1), wires).min(63)),
+                    OpKind::Shr => Some(read(a(0), wires) >> read(a(1), wires).min(63)),
+                    OpKind::Eq => Some((read(a(0), wires) == read(a(1), wires)) as u64),
+                    OpKind::Ne => Some((read(a(0), wires) != read(a(1), wires)) as u64),
+                    OpKind::Lt => Some((read(a(0), wires) < read(a(1), wires)) as u64),
+                    OpKind::Le => Some((read(a(0), wires) <= read(a(1), wires)) as u64),
+                    OpKind::Gt => Some((read(a(0), wires) > read(a(1), wires)) as u64),
+                    OpKind::Ge => Some((read(a(0), wires) >= read(a(1), wires)) as u64),
+                    OpKind::Copy => Some(read(a(0), wires)),
+                    OpKind::Select => Some(if read(a(0), wires) != 0 {
+                        read(a(1), wires)
                     } else {
-                        read(a(2), &wires)
+                        read(a(2), wires)
                     }),
                     OpKind::Slice { hi, lo } => {
-                        Some((read(a(0), &wires) >> lo) & Type::Bits(hi - lo + 1).mask())
+                        Some((read(a(0), wires) >> lo) & Type::Bits(hi - lo + 1).mask())
                     }
                     OpKind::Concat => {
                         let low_width = match a(1) {
                             Value::Const(c) => c.ty().width(),
                             Value::Var(v) => function.vars[v].ty.width(),
                         };
-                        Some((read(a(0), &wires) << low_width) | read(a(1), &wires))
+                        Some((read(a(0), wires) << low_width) | read(a(1), wires))
                     }
                     OpKind::ArrayRead { array } => {
-                        let index = read(a(0), &wires);
+                        let index = read(a(0), wires);
                         let contents = array_snapshot.get(array).cloned().unwrap_or_default();
                         Some(
                             *contents
@@ -234,8 +286,8 @@ impl<'a> RtlSimulator<'a> {
                         )
                     }
                     OpKind::ArrayWrite { array } => {
-                        let index = read(a(0), &wires);
-                        let value = read(a(1), &wires) & function.vars[*array].ty.mask();
+                        let index = read(a(0), wires);
+                        let value = read(a(1), wires) & function.vars[*array].ty.mask();
                         let name = function.vars[*array].name.clone();
                         let contents = next_arrays.get_or_insert_with(*array, Vec::new);
                         let slot = contents
@@ -260,8 +312,8 @@ impl<'a> RtlSimulator<'a> {
                 }
             }
 
-            registers = next_registers;
-            arrays = next_arrays;
+            std::mem::swap(registers, next_registers);
+            std::mem::swap(arrays, next_arrays);
         }
 
         let mut outcome = RtlOutcome {

@@ -10,8 +10,16 @@
 //!
 //! All per-operation facts live in dense [`SecondaryMap`]s keyed by the arena
 //! id, so the scheduler's innermost loops pay one array read per lookup.
+//! Guards are **interned**: every distinct branch context gets a dense
+//! [`GuardId`], and pairwise mutual exclusion is precomputed into a bitset at
+//! build time, so the scheduler's resource-sharing loop and the dependence
+//! history scans answer exclusion queries with a single word test instead of
+//! a term-by-term `Vec` comparison.
 
-use spark_ir::{Function, HtgNode, OpId, RegionId, SecondaryMap, Value, VarId};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use spark_ir::{DenseKey, Function, HtgNode, OpId, RegionId, SecondaryMap, Value, VarId};
 
 /// Why scheduling cannot proceed.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -64,8 +72,136 @@ impl Guard {
     }
 }
 
+/// Dense id of an interned [`Guard`] in a [`GuardTable`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GuardId(u32);
+
+impl GuardId {
+    /// The id every [`GuardTable`] reserves for the empty (unconditional)
+    /// guard.
+    pub const UNCONDITIONAL: GuardId = GuardId(0);
+
+    /// The raw dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl DenseKey for GuardId {
+    fn dense_index(self) -> usize {
+        self.0 as usize
+    }
+    fn from_dense_index(index: usize) -> Self {
+        GuardId(index as u32)
+    }
+}
+
+/// The interned guards of one function plus their precomputed pairwise
+/// mutual-exclusion relation.
+///
+/// Distinct branch contexts are few (one per basic block at most), so the
+/// exclusion relation fits a dense `len × len` bitset and every
+/// [`GuardTable::mutually_exclusive`] query is one shift-and-mask on a word.
+#[derive(Clone, Debug)]
+pub struct GuardTable {
+    guards: Vec<Guard>,
+    lookup: HashMap<Vec<(Value, bool)>, GuardId>,
+    /// Row-major `len × len` exclusion bitset, `row_words` words per row.
+    excl: Vec<u64>,
+    row_words: usize,
+}
+
+impl Default for GuardTable {
+    fn default() -> Self {
+        let mut table = GuardTable {
+            guards: Vec::new(),
+            lookup: HashMap::new(),
+            excl: Vec::new(),
+            row_words: 0,
+        };
+        let id = table.intern(&Guard::default());
+        debug_assert_eq!(id, GuardId::UNCONDITIONAL);
+        table
+    }
+}
+
+impl GuardTable {
+    /// Number of interned guards.
+    pub fn len(&self) -> usize {
+        self.guards.len()
+    }
+
+    /// Always `false`: the unconditional guard is interned up front.
+    pub fn is_empty(&self) -> bool {
+        self.guards.is_empty()
+    }
+
+    /// The guard behind `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` was not interned in this table.
+    pub fn guard(&self, id: GuardId) -> &Guard {
+        &self.guards[id.index()]
+    }
+
+    /// Interns `guard`, returning the id of an existing equal guard if any.
+    /// Only valid before [`GuardTable::seal`]; the exclusion bitset does not
+    /// cover guards interned afterwards.
+    fn intern(&mut self, guard: &Guard) -> GuardId {
+        if let Some(&id) = self.lookup.get(&guard.terms) {
+            return id;
+        }
+        let id = GuardId(self.guards.len() as u32);
+        self.guards.push(guard.clone());
+        self.lookup.insert(guard.terms.clone(), id);
+        id
+    }
+
+    /// Precomputes the pairwise exclusion bitset over all interned guards.
+    ///
+    /// Two guards are mutually exclusive iff they disagree on the polarity of
+    /// a shared condition, so only guards sharing a condition value need
+    /// testing: group `(guard, polarity)` occurrences by condition, then mark
+    /// the cross product of the true side and the false side of each group.
+    fn seal(&mut self) {
+        let n = self.guards.len();
+        self.row_words = n.div_ceil(64);
+        self.excl = vec![0u64; n * self.row_words];
+        let mut by_cond: HashMap<Value, (Vec<u32>, Vec<u32>)> = HashMap::new();
+        for (id, guard) in self.guards.iter().enumerate() {
+            for &(cond, polarity) in &guard.terms {
+                let entry = by_cond.entry(cond).or_default();
+                if polarity {
+                    entry.0.push(id as u32);
+                } else {
+                    entry.1.push(id as u32);
+                }
+            }
+        }
+        for (trues, falses) in by_cond.values() {
+            for &a in trues {
+                for &b in falses {
+                    self.mark(a as usize, b as usize);
+                    self.mark(b as usize, a as usize);
+                }
+            }
+        }
+    }
+
+    fn mark(&mut self, a: usize, b: usize) {
+        self.excl[a * self.row_words + b / 64] |= 1u64 << (b % 64);
+    }
+
+    /// One-word mutual-exclusion test between two interned guards.
+    #[inline]
+    pub fn mutually_exclusive(&self, a: GuardId, b: GuardId) -> bool {
+        let (a, b) = (a.index(), b.index());
+        self.excl[a * self.row_words + b / 64] >> (b % 64) & 1 != 0
+    }
+}
+
 /// The kind of a dependence edge.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum DepKind {
     /// Read-after-write: the consumer needs the producer's value. Chaining a
     /// flow dependence within a state requires a wire-variable.
@@ -79,12 +215,12 @@ pub enum DepKind {
 }
 
 /// A single dependence edge.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub struct Dependence {
-    /// Producer (must be scheduled no later than the consumer).
+    /// Producer (must be scheduled no later than the consumer). The
+    /// consumer is implicit: edges live in its
+    /// [`DependenceGraph::preds_of`] slice.
     pub from: OpId,
-    /// Consumer.
-    pub to: OpId,
     /// Edge kind.
     pub kind: DepKind,
     /// Variable the edge is about (the condition variable for control edges).
@@ -97,10 +233,16 @@ pub struct DependenceGraph {
     /// Live operations in program order (a valid topological order).
     pub order: Vec<OpId>,
     /// Incoming edges per operation.
-    pub preds: SecondaryMap<OpId, Vec<Dependence>>,
-    /// Guard (branch context) per operation.
-    pub guards: SecondaryMap<OpId, Guard>,
+    pub(crate) preds: SecondaryMap<OpId, Vec<Dependence>>,
+    /// Interned guard per operation.
+    pub(crate) guard_ids: SecondaryMap<OpId, GuardId>,
+    /// The guard interner and exclusion bitset.
+    pub(crate) guard_table: GuardTable,
 }
+
+/// Global count of from-scratch [`DependenceGraph::build`] executions, for
+/// the one-build-per-synthesis-point assertions in tests.
+static GRAPH_BUILDS: AtomicUsize = AtomicUsize::new(0);
 
 impl DependenceGraph {
     /// Builds the dependence graph of `function`.
@@ -109,12 +251,28 @@ impl DependenceGraph {
     /// Returns [`SchedError::ContainsLoops`] / [`SchedError::ContainsCalls`]
     /// if coarse-grain transformations have not yet removed loops and calls.
     pub fn build(function: &Function) -> Result<Self, SchedError> {
+        GRAPH_BUILDS.fetch_add(1, Ordering::Relaxed);
+        Self::build_uncounted(function)
+    }
+
+    /// Number of from-scratch builds in this process. Incremental patches
+    /// ([`DependenceGraph::apply_wire_edits`]) and the debug cross-check
+    /// rebuilds behind them do not count.
+    pub fn build_count() -> usize {
+        GRAPH_BUILDS.load(Ordering::Relaxed)
+    }
+
+    /// [`DependenceGraph::build`] without bumping the build counter — the
+    /// from-scratch reference for the debug cross-check of incremental
+    /// patching.
+    pub(crate) fn build_uncounted(function: &Function) -> Result<Self, SchedError> {
         if function.loop_count() > 0 {
             return Err(SchedError::ContainsLoops);
         }
         let mut graph = DependenceGraph::default();
         let mut guard_stack = Guard::default();
         collect(function, function.body, &mut guard_stack, &mut graph)?;
+        graph.guard_table.seal();
 
         // Data dependences by program order.
         let mut last_defs: SecondaryMap<VarId, Vec<OpId>> =
@@ -124,17 +282,16 @@ impl DependenceGraph {
         for index in 0..graph.order.len() {
             let op_id = graph.order[index];
             let op = &function.ops[op_id];
-            let guard = &graph.guards[&op_id];
+            let gid = graph.guard_ids[&op_id];
             let mut edges = Vec::new();
 
             // Control dependences: the op depends on the producers of every
             // condition in its guard.
-            for (cond, _) in &guard.terms {
+            for &(cond, _) in &graph.guard_table.guard(gid).terms {
                 if let Some(cond_var) = cond.as_var() {
                     for &producer in last_defs.get(&cond_var).into_iter().flatten() {
                         edges.push(Dependence {
                             from: producer,
-                            to: op_id,
                             kind: DepKind::Control,
                             var: cond_var,
                         });
@@ -143,12 +300,14 @@ impl DependenceGraph {
             }
 
             // Flow dependences on every operand.
-            for used in op.uses() {
+            for used in op.uses_iter() {
                 for &producer in last_defs.get(&used).into_iter().flatten() {
-                    if !graph.guards[&producer].mutually_exclusive(guard) {
+                    if !graph
+                        .guard_table
+                        .mutually_exclusive(graph.guard_ids[&producer], gid)
+                    {
                         edges.push(Dependence {
                             from: producer,
-                            to: op_id,
                             kind: DepKind::Flow,
                             var: used,
                         });
@@ -159,20 +318,25 @@ impl DependenceGraph {
             if let Some(defined) = op.def() {
                 // Output dependences on earlier defs, anti dependences on earlier uses.
                 for &producer in last_defs.get(&defined).into_iter().flatten() {
-                    if !graph.guards[&producer].mutually_exclusive(guard) {
+                    if !graph
+                        .guard_table
+                        .mutually_exclusive(graph.guard_ids[&producer], gid)
+                    {
                         edges.push(Dependence {
                             from: producer,
-                            to: op_id,
                             kind: DepKind::Output,
                             var: defined,
                         });
                     }
                 }
                 for &reader in last_uses.get(&defined).into_iter().flatten() {
-                    if reader != op_id && !graph.guards[&reader].mutually_exclusive(guard) {
+                    if reader != op_id
+                        && !graph
+                            .guard_table
+                            .mutually_exclusive(graph.guard_ids[&reader], gid)
+                    {
                         edges.push(Dependence {
                             from: reader,
-                            to: op_id,
                             kind: DepKind::Anti,
                             var: defined,
                         });
@@ -181,7 +345,7 @@ impl DependenceGraph {
             }
 
             // Update access history.
-            for used in op.uses() {
+            for used in op.uses_iter() {
                 last_uses.get_or_insert_with(used, Vec::new).push(op_id);
             }
             if let Some(defined) = op.def() {
@@ -195,20 +359,32 @@ impl DependenceGraph {
 
     /// Guard of an operation (unconditional if unknown).
     pub fn guard_of(&self, op: OpId) -> Guard {
-        self.guards.get(&op).cloned().unwrap_or_default()
+        self.guard_ref(op).cloned().unwrap_or_default()
     }
 
     /// Borrowed guard of an operation, if it is part of the graph. The
     /// allocation-free variant of [`DependenceGraph::guard_of`] for hot paths.
     pub fn guard_ref(&self, op: OpId) -> Option<&Guard> {
-        self.guards.get(&op)
+        self.guard_ids
+            .get(&op)
+            .map(|&id| self.guard_table.guard(id))
+    }
+
+    /// Interned guard id of an operation, if it is part of the graph.
+    pub fn guard_id_of(&self, op: OpId) -> Option<GuardId> {
+        self.guard_ids.get(&op).copied()
+    }
+
+    /// The guard interner and precomputed exclusion bitset.
+    pub fn guard_table(&self) -> &GuardTable {
+        &self.guard_table
     }
 
     /// Returns `true` if the two operations can never execute in the same run
     /// (they sit in opposite branches of some condition).
     pub fn mutually_exclusive(&self, a: OpId, b: OpId) -> bool {
-        match (self.guards.get(&a), self.guards.get(&b)) {
-            (Some(ga), Some(gb)) => ga.mutually_exclusive(gb),
+        match (self.guard_ids.get(&a), self.guard_ids.get(&b)) {
+            (Some(&ga), Some(&gb)) => self.guard_table.mutually_exclusive(ga, gb),
             _ => false,
         }
     }
@@ -216,6 +392,41 @@ impl DependenceGraph {
     /// Incoming dependences of an operation.
     pub fn preds_of(&self, op: OpId) -> &[Dependence] {
         self.preds.get(&op).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Checks that `self` and `other` describe the same dependence structure:
+    /// identical operation order, equal guards per operation, and — per
+    /// operation — the same multiset of incoming edges. Edge *order* within a
+    /// predecessor list is not significant (no consumer depends on it), which
+    /// is what lets the incremental patcher append recomputed edges instead
+    /// of reproducing the from-scratch interleaving.
+    ///
+    /// # Errors
+    /// Returns a description of the first divergence.
+    pub fn same_dependences(&self, other: &DependenceGraph) -> Result<(), String> {
+        if self.order != other.order {
+            return Err(format!(
+                "operation order differs: {} vs {} ops",
+                self.order.len(),
+                other.order.len()
+            ));
+        }
+        for &op in &self.order {
+            if self.guard_ref(op) != other.guard_ref(op) {
+                return Err(format!("guard of op{} differs", op.raw()));
+            }
+            let mut mine: Vec<&Dependence> = self.preds_of(op).iter().collect();
+            let mut theirs: Vec<&Dependence> = other.preds_of(op).iter().collect();
+            mine.sort();
+            theirs.sort();
+            if mine != theirs {
+                return Err(format!(
+                    "incoming edges of op{} differ: {mine:?} vs {theirs:?}",
+                    op.raw()
+                ));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -228,6 +439,7 @@ fn collect(
     for &node in &function.regions[region].nodes {
         match &function.nodes[node] {
             HtgNode::Block(b) => {
+                let gid = graph.guard_table.intern(guard);
                 for &op_id in &function.blocks[*b].ops {
                     let op = &function.ops[op_id];
                     if op.dead {
@@ -237,7 +449,7 @@ fn collect(
                         return Err(SchedError::ContainsCalls);
                     }
                     graph.order.push(op_id);
-                    graph.guards.insert(op_id, guard.clone());
+                    graph.guard_ids.insert(op_id, gid);
                 }
             }
             HtgNode::If(i) => {
@@ -276,6 +488,74 @@ mod tests {
         assert!(!graph.guard_of(then_op).is_unconditional());
         assert!(graph.mutually_exclusive(then_op, else_op));
         assert!(!graph.mutually_exclusive(before, then_op));
+    }
+
+    #[test]
+    fn interned_exclusion_matches_guard_reference() {
+        // Nested conditionals: every op pair's bitset answer must equal the
+        // term-by-term `Guard::mutually_exclusive` reference.
+        let mut b = FunctionBuilder::new("f");
+        let c1 = b.param("c1", Type::Bool);
+        let c2 = b.param("c2", Type::Bool);
+        let x = b.var("x", Type::Bits(8));
+        b.copy(x, Value::word(0));
+        b.if_begin(Value::Var(c1));
+        b.if_begin(Value::Var(c2));
+        b.copy(x, Value::word(1));
+        b.else_begin();
+        b.copy(x, Value::word(2));
+        b.if_end();
+        b.else_begin();
+        b.copy(x, Value::word(3));
+        b.if_end();
+        b.if_begin(Value::Var(c2));
+        b.copy(x, Value::word(4));
+        b.if_end();
+        let f = b.finish();
+        let graph = DependenceGraph::build(&f).unwrap();
+        for &a in &graph.order {
+            for &b in &graph.order {
+                assert_eq!(
+                    graph.mutually_exclusive(a, b),
+                    graph.guard_of(a).mutually_exclusive(&graph.guard_of(b)),
+                    "ops {a:?} / {b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn guard_ids_are_shared_within_a_branch_context() {
+        let mut b = FunctionBuilder::new("f");
+        let c = b.param("c", Type::Bool);
+        let x = b.var("x", Type::Bits(8));
+        b.if_begin(Value::Var(c));
+        let t1 = b.copy(x, Value::word(1));
+        let t2 = b.copy(x, Value::word(2));
+        b.if_end();
+        let f = b.finish();
+        let graph = DependenceGraph::build(&f).unwrap();
+        assert_eq!(graph.guard_id_of(t1), graph.guard_id_of(t2));
+        assert_ne!(graph.guard_id_of(t1), Some(GuardId::UNCONDITIONAL));
+        // Three contexts: unconditional (always interned), then-branch — and
+        // the sealed table answers self-exclusion queries.
+        assert!(graph.guard_table().len() >= 2);
+        let gid = graph.guard_id_of(t1).unwrap();
+        assert!(!graph.guard_table().mutually_exclusive(gid, gid));
+    }
+
+    #[test]
+    fn build_counter_counts_from_scratch_builds() {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.var("x", Type::Bits(8));
+        b.copy(x, Value::word(1));
+        let f = b.finish();
+        let before = DependenceGraph::build_count();
+        let _ = DependenceGraph::build(&f).unwrap();
+        let _ = DependenceGraph::build(&f).unwrap();
+        // Other tests run concurrently in this process, so the counter may
+        // move by more than our own two builds — never by less.
+        assert!(DependenceGraph::build_count() >= before + 2);
     }
 
     #[test]

@@ -42,13 +42,15 @@
 mod deps;
 mod fsm;
 mod resources;
+mod rewrite;
 mod scheduler;
 mod trails;
 mod wires;
 
-pub use deps::{DepKind, Dependence, DependenceGraph, Guard, SchedError};
+pub use deps::{DepKind, Dependence, DependenceGraph, Guard, GuardId, GuardTable, SchedError};
 pub use fsm::{ControlStep, Controller, ScheduledOp};
 pub use resources::{Allocation, FuClass, FuSpec, ResourceLibrary};
-pub use scheduler::{schedule, Constraints, Schedule};
+pub use rewrite::{WireEdit, WireEditLog, WireInit};
+pub use scheduler::{schedule, schedule_in, Constraints, SchedContext, Schedule};
 pub use trails::{validate_chaining, ChainingReport};
-pub use wires::{insert_wire_variables, WireReport};
+pub use wires::{insert_wire_variables, insert_wire_variables_logged, WireReport};

@@ -1,0 +1,363 @@
+//! Incremental dependence-graph patching across wire-variable insertion.
+//!
+//! [`insert_wire_variables`](crate::insert_wire_variables) performs a small,
+//! fully structured set of rewrites: a producer is redirected to write a
+//! fresh wire, a commit copy back into the register is inserted right after
+//! it, an initializer copy may be inserted in front of the outermost
+//! conditional, and same-state readers swap the register operand for the
+//! wire. Rebuilding the whole [`DependenceGraph`] afterwards — as the
+//! pipeline did before — re-derives guards, re-interns the guard table and
+//! re-scans the access history of *every* variable, when only the variables
+//! named by the rewrites changed.
+//!
+//! [`DependenceGraph::apply_wire_edits`] instead patches the graph in place
+//! from the [`WireEditLog`] the insertion emits: the new copies are spliced
+//! into `order` next to their anchors, inherit their guards (the commit runs
+//! under its writer's guard, the initializer is unconditional), and only the
+//! edges touching an affected register or wire are recomputed — with the
+//! same program-order history scan the from-scratch build uses, so the edge
+//! multiset is identical. Debug builds cross-check the patched graph against
+//! a from-scratch rebuild after every application.
+
+use spark_ir::{Function, OpId, SecondaryMap, VarId};
+
+use crate::deps::{DepKind, Dependence, DependenceGraph, GuardId};
+
+/// The initializer copy of one wire group: `op` (`wire = register`) executes
+/// immediately before `before` in program order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireInit {
+    /// The initializer operation.
+    pub op: OpId,
+    /// The first live operation of the conditional subtree the initializer
+    /// was hoisted in front of.
+    pub before: OpId,
+}
+
+/// One wire-variable group: everything [`insert_wire_variables`]
+/// (crate::insert_wire_variables) did for one `(register, state)` pair.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireEdit {
+    /// The register the group is about.
+    pub var: VarId,
+    /// The freshly created wire-variable.
+    pub wire: VarId,
+    /// The pre-initialisation copy, if one was needed (the Figure 7 case).
+    pub initializer: Option<WireInit>,
+    /// `(writer, commit)` pairs: `writer` now defines the wire and `commit`
+    /// (`register = wire`) executes immediately after it.
+    pub commits: Vec<(OpId, OpId)>,
+}
+
+/// The structured record of one wire-variable insertion run, in application
+/// order.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WireEditLog {
+    /// One entry per wire-variable created.
+    pub edits: Vec<WireEdit>,
+}
+
+impl WireEditLog {
+    /// Returns `true` when the insertion run changed nothing.
+    pub fn is_empty(&self) -> bool {
+        self.edits.is_empty()
+    }
+}
+
+impl DependenceGraph {
+    /// Patches this (pre-insertion) graph to describe `function` *after* the
+    /// wire-variable insertion that produced `log`.
+    ///
+    /// `order` gains the initializer and commit copies at their anchored
+    /// positions, the new operations inherit interned guards (no new branch
+    /// contexts appear, so the exclusion bitset stays valid), and the edges
+    /// of every affected register/wire are recomputed with the build's own
+    /// history scan while all other edges are kept. In debug builds the
+    /// result is checked against a from-scratch rebuild.
+    pub fn apply_wire_edits(&mut self, function: &Function, log: &WireEditLog) {
+        if !log.is_empty() {
+            let new_ops = self.splice_new_ops(log);
+            let affected = affected_vars(log);
+            self.recompute_edges(function, &affected, &new_ops);
+        }
+        #[cfg(debug_assertions)]
+        {
+            let rebuilt = DependenceGraph::build_uncounted(function)
+                .expect("patched function is loop- and call-free");
+            if let Err(difference) = self.same_dependences(&rebuilt) {
+                panic!("patched dependence graph diverges from rebuild: {difference}");
+            }
+        }
+    }
+
+    /// Splices the initializer and commit copies into `order` and assigns
+    /// their guards: a commit executes under its writer's guard, an
+    /// initializer is unconditional (it sits in front of the outermost
+    /// conditional, at top level by construction).
+    fn splice_new_ops(&mut self, log: &WireEditLog) -> SecondaryMap<OpId, ()> {
+        let mut before: SecondaryMap<OpId, Vec<OpId>> = SecondaryMap::new();
+        let mut after: SecondaryMap<OpId, Vec<OpId>> = SecondaryMap::new();
+        let mut new_ops: SecondaryMap<OpId, ()> = SecondaryMap::new();
+        for edit in &log.edits {
+            if let Some(init) = &edit.initializer {
+                before
+                    .get_or_insert_with(init.before, Vec::new)
+                    .push(init.op);
+                self.guard_ids.insert(init.op, GuardId::UNCONDITIONAL);
+                new_ops.insert(init.op, ());
+            }
+            for &(writer, commit) in &edit.commits {
+                after.get_or_insert_with(writer, Vec::new).push(commit);
+                let writer_guard = self.guard_ids[&writer];
+                self.guard_ids.insert(commit, writer_guard);
+                new_ops.insert(commit, ());
+            }
+        }
+
+        // Emit the new order in one pass. An anchor can itself be a pending
+        // new op (an initializer hoisted in front of an earlier group's
+        // commit), so emission recurses through the anchor lists.
+        fn emit(
+            op: OpId,
+            before: &SecondaryMap<OpId, Vec<OpId>>,
+            after: &SecondaryMap<OpId, Vec<OpId>>,
+            out: &mut Vec<OpId>,
+        ) {
+            for &b in before.get(&op).into_iter().flatten() {
+                emit(b, before, after, out);
+            }
+            out.push(op);
+            for &a in after.get(&op).into_iter().flatten() {
+                emit(a, before, after, out);
+            }
+        }
+        let mut order = Vec::with_capacity(self.order.len() + new_ops.len());
+        for &op in &self.order {
+            emit(op, &before, &after, &mut order);
+        }
+        self.order = order;
+        new_ops
+    }
+
+    /// Recomputes — over the spliced `order` — every edge whose variable is
+    /// in `affected`, leaving all other edges untouched. This is the same
+    /// per-variable program-order history scan [`DependenceGraph::build`]
+    /// runs, restricted to the registers and wires the insertion touched, so
+    /// the resulting edge multiset matches a from-scratch rebuild.
+    fn recompute_edges(
+        &mut self,
+        function: &Function,
+        affected: &SecondaryMap<VarId, ()>,
+        new_ops: &SecondaryMap<OpId, ()>,
+    ) {
+        for &op in &self.order {
+            if let Some(edges) = self.preds.get_mut(&op) {
+                edges.retain(|d| !affected.contains_key(&d.var));
+            }
+        }
+        // A new op starts with no edges at all, so its control dependences on
+        // *unaffected* condition variables must be derived too: track the def
+        // history of every condition variable guarding a new op. (A new op
+        // never defines or uses such a variable — commits and initializers
+        // only touch the affected register/wire pair — so the tracked
+        // histories are built from existing ops alone.)
+        let mut tracked: SecondaryMap<VarId, ()> = SecondaryMap::new();
+        for (op, ()) in new_ops.iter() {
+            let gid = self.guard_ids[&op];
+            for &(cond, _) in &self.guard_table.guard(gid).terms {
+                if let Some(cond_var) = cond.as_var() {
+                    tracked.insert(cond_var, ());
+                }
+            }
+        }
+        let mut defs: SecondaryMap<VarId, Vec<OpId>> = SecondaryMap::new();
+        let mut uses: SecondaryMap<VarId, Vec<OpId>> = SecondaryMap::new();
+        // Split borrows: recomputed edges are pushed straight into the preds
+        // entry while the guard tables are read alongside.
+        let DependenceGraph {
+            ref order,
+            ref mut preds,
+            ref guard_ids,
+            ref guard_table,
+        } = *self;
+        for &op_id in order.iter() {
+            let op = &function.ops[op_id];
+            let gid = guard_ids[&op_id];
+            let is_new = new_ops.contains_key(&op_id);
+            let edges = preds.get_or_insert_with(op_id, Vec::new);
+
+            for &(cond, _) in &guard_table.guard(gid).terms {
+                let Some(cond_var) = cond.as_var() else {
+                    continue;
+                };
+                // Existing ops keep their control edges on unaffected
+                // conditions; new ops need every control edge derived.
+                let wanted =
+                    affected.contains_key(&cond_var) || (is_new && tracked.contains_key(&cond_var));
+                if !wanted {
+                    continue;
+                }
+                for &producer in defs.get(&cond_var).into_iter().flatten() {
+                    edges.push(Dependence {
+                        from: producer,
+                        kind: DepKind::Control,
+                        var: cond_var,
+                    });
+                }
+            }
+
+            for used in op.uses_iter() {
+                if !affected.contains_key(&used) {
+                    continue;
+                }
+                for &producer in defs.get(&used).into_iter().flatten() {
+                    if !guard_table.mutually_exclusive(guard_ids[&producer], gid) {
+                        edges.push(Dependence {
+                            from: producer,
+                            kind: DepKind::Flow,
+                            var: used,
+                        });
+                    }
+                }
+            }
+
+            if let Some(defined) = op.def() {
+                if affected.contains_key(&defined) {
+                    for &producer in defs.get(&defined).into_iter().flatten() {
+                        if !guard_table.mutually_exclusive(guard_ids[&producer], gid) {
+                            edges.push(Dependence {
+                                from: producer,
+                                kind: DepKind::Output,
+                                var: defined,
+                            });
+                        }
+                    }
+                    for &reader in uses.get(&defined).into_iter().flatten() {
+                        if reader != op_id
+                            && !guard_table.mutually_exclusive(guard_ids[&reader], gid)
+                        {
+                            edges.push(Dependence {
+                                from: reader,
+                                kind: DepKind::Anti,
+                                var: defined,
+                            });
+                        }
+                    }
+                }
+            }
+
+            // The history records one entry per *occurrence*, exactly as the
+            // from-scratch build does (a twice-used operand yields two flow
+            // edges downstream). Defs are also tracked for the condition
+            // variables guarding new ops, feeding their control edges above.
+            for used in op.uses_iter() {
+                if affected.contains_key(&used) {
+                    uses.get_or_insert_with(used, Vec::new).push(op_id);
+                }
+            }
+            if let Some(defined) = op.def() {
+                if affected.contains_key(&defined) || tracked.contains_key(&defined) {
+                    defs.get_or_insert_with(defined, Vec::new).push(op_id);
+                }
+            }
+        }
+    }
+}
+
+fn affected_vars(log: &WireEditLog) -> SecondaryMap<VarId, ()> {
+    let mut affected = SecondaryMap::new();
+    for edit in &log.edits {
+        affected.insert(edit.var, ());
+        affected.insert(edit.wire, ());
+    }
+    affected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deps::DependenceGraph;
+    use crate::resources::ResourceLibrary;
+    use crate::scheduler::{schedule, Constraints};
+    use crate::wires::insert_wire_variables_logged;
+    use spark_ir::{FunctionBuilder, OpKind, Type, Value};
+
+    /// Schedules, inserts wires and checks patch-vs-rebuild equivalence.
+    /// (Debug builds also cross-check inside `apply_wire_edits` itself.)
+    fn check(mut f: spark_ir::Function, period: f64) -> WireEditLog {
+        let graph = DependenceGraph::build(&f).unwrap();
+        let lib = ResourceLibrary::new();
+        let mut sched =
+            schedule(&f, &graph, &lib, &Constraints::microprocessor_block(period)).unwrap();
+        let (_, log) = insert_wire_variables_logged(&mut f, &mut sched);
+        let mut patched = graph.clone();
+        patched.apply_wire_edits(&f, &log);
+        let rebuilt = DependenceGraph::build(&f).unwrap();
+        patched
+            .same_dependences(&rebuilt)
+            .expect("patch == rebuild");
+        log
+    }
+
+    #[test]
+    fn straight_line_chain_patch_matches_rebuild() {
+        let mut b = FunctionBuilder::new("f");
+        let a = b.param("a", Type::Bits(8));
+        let r1 = b.var("r1", Type::Bits(8));
+        let r2 = b.var("r2", Type::Bits(8));
+        b.assign(OpKind::Add, r1, vec![Value::Var(a), Value::word(1)]);
+        b.assign(OpKind::Add, r2, vec![Value::Var(r1), Value::word(2)]);
+        let log = check(b.finish(), 10.0);
+        assert_eq!(log.edits.len(), 1);
+        assert!(log.edits[0].initializer.is_none());
+        assert_eq!(log.edits[0].commits.len(), 1);
+    }
+
+    #[test]
+    fn conditional_writers_patch_matches_rebuild() {
+        // The Figure 6/7 shape: conditional writers force an initializer and
+        // per-branch commits; the patch must reproduce the control edges of
+        // the commits and the anti edge from the initializer's register read.
+        let mut b = FunctionBuilder::new("fig6");
+        let a = b.param("a", Type::Bits(8));
+        let bb = b.param("b", Type::Bits(8));
+        let d = b.param("d", Type::Bits(8));
+        let e = b.param("e", Type::Bits(8));
+        let cond = b.param("cond", Type::Bool);
+        let o1 = b.var("o1", Type::Bits(8));
+        let o2 = b.output("o2", Type::Bits(8));
+        b.if_begin(Value::Var(cond));
+        b.assign(OpKind::Add, o1, vec![Value::Var(a), Value::Var(bb)]);
+        b.else_begin();
+        b.copy(o1, Value::Var(d));
+        b.if_end();
+        b.assign(OpKind::Add, o2, vec![Value::Var(o1), Value::Var(e)]);
+        let log = check(b.finish(), 10.0);
+        assert_eq!(log.edits.len(), 1);
+        assert!(log.edits[0].initializer.is_some());
+        assert!(log.edits[0].commits.len() >= 2);
+    }
+
+    #[test]
+    fn ripple_chain_patch_matches_rebuild() {
+        let mut b = FunctionBuilder::new("ripple");
+        let nsb = b.output("nsb", Type::Bits(16));
+        let len1 = b.param("len1", Type::Bits(8));
+        let len2 = b.param("len2", Type::Bits(8));
+        b.copy(nsb, Value::word(1));
+        b.assign(OpKind::Add, nsb, vec![Value::Var(nsb), Value::Var(len1)]);
+        b.assign(OpKind::Add, nsb, vec![Value::Var(nsb), Value::Var(len2)]);
+        check(b.finish(), 10.0);
+    }
+
+    #[test]
+    fn empty_log_patch_is_a_no_op() {
+        let mut b = FunctionBuilder::new("f");
+        let a = b.param("a", Type::Bits(8));
+        let r1 = b.var("r1", Type::Bits(8));
+        b.assign(OpKind::Add, r1, vec![Value::Var(a), Value::word(1)]);
+        // A multi-state schedule with no same-state chains creates no wires.
+        let log = check(b.finish(), 10.0);
+        assert!(log.is_empty());
+    }
+}

@@ -12,6 +12,33 @@ use spark_ir::{BlockId, Function, OpId, SecondaryMap};
 use crate::deps::{DepKind, DependenceGraph, SchedError};
 use crate::resources::{Allocation, FuClass, ResourceLibrary};
 
+/// The clock-agnostic analyses scheduling needs: the pre-wire dependence
+/// graph (with its interned guard table) and the op → block ownership map.
+///
+/// Built once per transformed program and shared by every clock-sweep /
+/// ablation / DSE point — see `TransformedProgram::sched_context` in
+/// `spark-core` — instead of being rebuilt per point.
+#[derive(Clone, Debug)]
+pub struct SchedContext {
+    /// Dependence graph of the (pre-wire-insertion) function.
+    pub graph: DependenceGraph,
+    /// Owning basic block of every live operation.
+    pub op_blocks: SecondaryMap<OpId, BlockId>,
+}
+
+impl SchedContext {
+    /// Builds the scheduling context of `function`.
+    ///
+    /// # Errors
+    /// Returns [`SchedError`] if the function still contains loops or calls.
+    pub fn build(function: &Function) -> Result<Self, SchedError> {
+        Ok(SchedContext {
+            graph: DependenceGraph::build(function)?,
+            op_blocks: function.op_blocks(),
+        })
+    }
+}
+
 /// Scheduling constraints.
 #[derive(Clone, Debug)]
 pub struct Constraints {
@@ -170,17 +197,54 @@ pub fn schedule(
     library: &ResourceLibrary,
     constraints: &Constraints,
 ) -> Result<Schedule, SchedError> {
+    // Block of every op, for the cross-block chaining test — built in one
+    // pass instead of a per-op block scan.
+    let block_of: SecondaryMap<OpId, BlockId> = function.op_blocks();
+    schedule_with_blocks(function, graph, &block_of, library, constraints)
+}
+
+/// [`schedule`] against a prebuilt [`SchedContext`] — the entry point for
+/// sweeps that share one context (graph + op → block map) across many clock
+/// points.
+///
+/// # Errors
+/// Returns [`SchedError`] if the function cannot be scheduled.
+pub fn schedule_in(
+    function: &Function,
+    context: &SchedContext,
+    library: &ResourceLibrary,
+    constraints: &Constraints,
+) -> Result<Schedule, SchedError> {
+    schedule_with_blocks(
+        function,
+        &context.graph,
+        &context.op_blocks,
+        library,
+        constraints,
+    )
+}
+
+fn schedule_with_blocks(
+    function: &Function,
+    graph: &DependenceGraph,
+    block_of: &SecondaryMap<OpId, BlockId>,
+    library: &ResourceLibrary,
+    constraints: &Constraints,
+) -> Result<Schedule, SchedError> {
     let mut result = Schedule {
         clock_period_ns: constraints.clock_period_ns,
         ..Schedule::default()
     };
+    let guard_table = graph.guard_table();
 
-    // Block of every op, for the cross-block chaining test — built in one
-    // pass instead of a per-op block scan.
-    let block_of: SecondaryMap<OpId, BlockId> = function.op_blocks();
+    // Functional-unit instances: state -> class -> instances -> occupants
+    // (occupants recorded with their interned guard for the exclusion test).
+    let mut instances: Vec<SecondaryMap<FuClass, Vec<Vec<crate::deps::GuardId>>>> = Vec::new();
 
-    // Functional-unit instances: state -> class -> instances -> occupants.
-    let mut instances: Vec<SecondaryMap<FuClass, Vec<Vec<OpId>>>> = Vec::new();
+    // Per-op scratch: the data (flow/control) dependences with their
+    // precomputed chainability, so the candidate-state retry loop below runs
+    // over a flat slice instead of re-deciding chainability per retry.
+    let mut data_deps: Vec<(OpId, bool)> = Vec::new();
 
     for &op_id in &graph.order {
         let op = &function.ops[op_id];
@@ -192,17 +256,24 @@ pub fn schedule(
             )));
         }
         let class = FuClass::for_op(&op.kind);
+        let op_guard = graph
+            .guard_id_of(op_id)
+            .expect("ops in graph order carry guards");
 
-        // Minimum state from dependences, assuming chaining wherever allowed.
+        // Minimum state from dependences, assuming chaining wherever allowed;
+        // data dependences and their chainability are cached for the retries.
+        data_deps.clear();
         let mut state = 0usize;
         for dep in graph.preds_of(op_id) {
             let producer_state = result.op_state[&dep.from];
             let same_state_allowed = match dep.kind {
                 DepKind::Anti | DepKind::Output => true,
                 DepKind::Flow | DepKind::Control => {
-                    constraints.allow_chaining
+                    let chainable = constraints.allow_chaining
                         && (constraints.allow_cross_block_chaining
-                            || block_of.get(&dep.from) == block_of.get(&op_id))
+                            || block_of.get(&dep.from) == block_of.get(&op_id));
+                    data_deps.push((dep.from, chainable));
+                    chainable
                 }
             };
             let minimum = if same_state_allowed {
@@ -224,20 +295,13 @@ pub fn schedule(
             // Arrival time: chained inputs produced in this same state.
             let mut arrival: f64 = 0.0;
             let mut timing_ok = true;
-            for dep in graph.preds_of(op_id) {
-                if !matches!(dep.kind, DepKind::Flow | DepKind::Control) {
-                    continue;
-                }
-                let producer_state = result.op_state[&dep.from];
-                if producer_state == state {
-                    if !constraints.allow_chaining
-                        || (!constraints.allow_cross_block_chaining
-                            && block_of.get(&dep.from) != block_of.get(&op_id))
-                    {
+            for &(from, chainable) in &data_deps {
+                if result.op_state[&from] == state {
+                    if !chainable {
                         timing_ok = false;
                         break;
                     }
-                    arrival = arrival.max(result.op_finish[&dep.from]);
+                    arrival = arrival.max(result.op_finish[&from]);
                 }
             }
             if !timing_ok || arrival + delay > constraints.clock_period_ns {
@@ -245,7 +309,9 @@ pub fn schedule(
                 continue;
             }
 
-            // Resource check with mutual-exclusion sharing.
+            // Resource check with mutual-exclusion sharing: an instance can
+            // be reused when every occupant's guard excludes this op's —
+            // each test one word of the precomputed exclusion bitset.
             while instances.len() <= state {
                 instances.push(SecondaryMap::new());
             }
@@ -257,7 +323,7 @@ pub fn schedule(
                 for (index, occupants) in class_instances.iter().enumerate() {
                     if occupants
                         .iter()
-                        .all(|&other| graph.mutually_exclusive(other, op_id))
+                        .all(|&other| guard_table.mutually_exclusive(other, op_guard))
                     {
                         found = Some(index);
                         break;
@@ -280,7 +346,7 @@ pub fn schedule(
                 instances[state]
                     .get_mut(&class)
                     .expect("class entry exists")[instance]
-                    .push(op_id);
+                    .push(op_guard);
             }
 
             result.record(op_id, state, arrival, arrival + delay, instance);

@@ -9,7 +9,7 @@
 //! independent checker that re-validates a finished schedule the way the
 //! paper describes.
 
-use spark_ir::{BlockId, Cfg, Function, OpId, SecondaryMap};
+use spark_ir::{BlockId, Cfg, Function, OpId};
 
 use crate::deps::{DepKind, DependenceGraph, SchedError};
 use crate::resources::ResourceLibrary;
@@ -49,27 +49,29 @@ pub fn validate_chaining(
     let mut report = ChainingReport::default();
     let cfg = Cfg::build(function);
     // Dense per-op and per-block side tables, built once: the op → block map
-    // (instead of a full block scan per query), the immediate predecessor
-    // blocks of every block (instead of re-walking virtual CFG nodes), and
-    // memo tables for trail counts and backward-reachable block sets (many
-    // operations share a block, so each block is analysed at most once).
+    // (instead of a full block scan per query), a memoized trail counter and
+    // memoized backward-reachability rows (many operations share a block, so
+    // each block is analysed at most once). Trail populations are *counted*
+    // (saturating DP over the DAG), never enumerated — the unrolled ILD has
+    // exponentially many trails.
     let op_blocks = function.op_blocks();
-    let mut pred_blocks: SecondaryMap<BlockId, Vec<BlockId>> = SecondaryMap::new();
-    let mut trail_counts: SecondaryMap<BlockId, usize> = SecondaryMap::new();
-    let mut reachable_sets: SecondaryMap<BlockId, Vec<bool>> = SecondaryMap::new();
-    let block_capacity = function.blocks.len();
+    let mut trail_counter = cfg.trail_counter(64);
+    let mut reachability = Reachability::new(function.blocks.len());
+    let mut same_state_producers: Vec<OpId> = Vec::new();
 
     for &op_id in &graph.order {
         let Some(&state) = schedule.op_state.get(&op_id) else {
             continue;
         };
-        let same_state_producers: Vec<OpId> = graph
-            .preds_of(op_id)
-            .iter()
-            .filter(|d| matches!(d.kind, DepKind::Flow | DepKind::Control))
-            .map(|d| d.from)
-            .filter(|p| schedule.op_state.get(p) == Some(&state))
-            .collect();
+        same_state_producers.clear();
+        same_state_producers.extend(
+            graph
+                .preds_of(op_id)
+                .iter()
+                .filter(|d| matches!(d.kind, DepKind::Flow | DepKind::Control))
+                .map(|d| d.from)
+                .filter(|p| schedule.op_state.get(p) == Some(&state)),
+        );
         if same_state_producers.is_empty() {
             continue;
         }
@@ -81,37 +83,21 @@ pub fn validate_chaining(
             }
         }
 
-        // Enumerate a bounded number of backward trails for the report (the
+        // Count the backward trails (saturating at 64) for the report; the
         // fully unrolled ILD has exponentially many trails, so correctness is
-        // checked with backward reachability below, not with enumeration).
+        // checked with backward reachability below, not per trail.
         let Some(block) = own_block else { continue };
-        let trails =
-            *trail_counts.get_or_insert_with(block, || cfg.backward_trails(block, 64).len());
-        report.max_trails = report.max_trails.max(trails);
+        report.max_trails = report.max_trails.max(trail_counter.count(block));
 
         // Every chained producer must lie on this op's own block or on some
         // block backward-reachable from it (otherwise the value could never
         // reach the consumer on any trail).
-        if reachable_sets.get(&block).is_none() {
-            let mut reachable = vec![false; block_capacity];
-            let mut frontier = vec![block];
-            while let Some(current) = frontier.pop() {
-                let preds = pred_blocks.get_or_insert_with(current, || cfg.pred_blocks(current));
-                for &pred in preds.iter() {
-                    if !reachable[pred.index()] {
-                        reachable[pred.index()] = true;
-                        frontier.push(pred);
-                    }
-                }
-            }
-            reachable_sets.insert(block, reachable);
-        }
-        let reachable_blocks = &reachable_sets[&block];
+        let reachable_blocks = reachability.row(block, &cfg);
         for &producer in &same_state_producers {
             let producer_block = op_blocks.get(&producer).copied();
             let reachable = producer_block == own_block
                 || producer_block
-                    .map(|b| reachable_blocks[b.index()])
+                    .map(|b| reachable_blocks[b.index() / 64] >> (b.index() % 64) & 1 != 0)
                     .unwrap_or(false);
             if !reachable {
                 return Err(SchedError::Unschedulable(format!(
@@ -135,6 +121,68 @@ pub fn validate_chaining(
         let _ = library;
     }
     Ok(report)
+}
+
+/// Memoized backward-reachability bitsets over the basic blocks of a
+/// **loop-free** function: `row(b)` holds, one bit per block, every block on
+/// some backward path from `b` (excluding `b` itself).
+///
+/// Each row is the union of its predecessors' rows plus the predecessor bits
+/// and is computed once, so the whole table costs
+/// O(blocks × preds × row-words) — instead of one dense-visited BFS per
+/// queried block, which dominated `validate_chaining` on the unrolled ILD.
+struct Reachability {
+    rows: Vec<Option<Vec<u64>>>,
+    pred_lists: Vec<Option<Vec<BlockId>>>,
+    words: usize,
+}
+
+impl Reachability {
+    fn new(block_capacity: usize) -> Self {
+        Reachability {
+            rows: vec![None; block_capacity],
+            pred_lists: vec![None; block_capacity],
+            words: block_capacity.div_ceil(64).max(1),
+        }
+    }
+
+    /// The reachability bitset of `block`, building any missing ancestor rows
+    /// first (iteratively — the unrolled ILD nests hundreds of blocks deep).
+    fn row(&mut self, block: BlockId, cfg: &Cfg) -> &[u64] {
+        if self.rows[block.index()].is_none() {
+            let mut stack = vec![block];
+            while let Some(&top) = stack.last() {
+                if self.rows[top.index()].is_some() {
+                    stack.pop();
+                    continue;
+                }
+                let preds = self.pred_lists[top.index()]
+                    .get_or_insert_with(|| cfg.pred_blocks(top))
+                    .clone();
+                let mut pending = false;
+                for &pred in &preds {
+                    if self.rows[pred.index()].is_none() {
+                        stack.push(pred);
+                        pending = true;
+                    }
+                }
+                if pending {
+                    continue;
+                }
+                let mut row = vec![0u64; self.words];
+                for &pred in &preds {
+                    let pred_row = self.rows[pred.index()].as_ref().expect("pred row built");
+                    for (word, &bits) in pred_row.iter().enumerate() {
+                        row[word] |= bits;
+                    }
+                    row[pred.index() / 64] |= 1 << (pred.index() % 64);
+                }
+                self.rows[top.index()] = Some(row);
+                stack.pop();
+            }
+        }
+        self.rows[block.index()].as_deref().expect("row just built")
+    }
 }
 
 #[cfg(test)]

@@ -9,13 +9,18 @@
 //! branches, the wire is pre-initialised with the register value before the
 //! conditional so that every chaining trail supplies a value (the situation
 //! of Figures 6 and 7).
-
-use std::collections::BTreeMap;
+//!
+//! Every rewrite is recorded in a [`WireEditLog`], the structured record
+//! that lets the pipeline patch the pre-insertion
+//! [`DependenceGraph`](crate::DependenceGraph) in place instead of
+//! rebuilding it from scratch (see
+//! [`DependenceGraph::apply_wire_edits`](crate::DependenceGraph::apply_wire_edits)).
 
 use spark_ir::{
     BlockId, Function, HtgNode, NodeId, OpId, OpKind, RegionId, SecondaryMap, Value, VarId,
 };
 
+use crate::rewrite::{WireEdit, WireEditLog, WireInit};
 use crate::scheduler::Schedule;
 
 /// Statistics of a wire-variable insertion run.
@@ -41,7 +46,17 @@ pub struct WireReport {
 /// preserves sequential semantics (checked by the interpreter-equivalence
 /// tests) and leaves registers holding exactly the values they held before.
 pub fn insert_wire_variables(function: &mut Function, schedule: &mut Schedule) -> WireReport {
+    insert_wire_variables_logged(function, schedule).0
+}
+
+/// [`insert_wire_variables`] returning the structured [`WireEditLog`] of
+/// every rewrite, for incremental dependence-graph patching.
+pub fn insert_wire_variables_logged(
+    function: &mut Function,
+    schedule: &mut Schedule,
+) -> (WireReport, WireEditLog) {
     let mut report = WireReport::default();
+    let mut log = WireEditLog::default();
 
     // Group same-state flow pairs by (variable, state).
     // For determinism iterate ops in program order.
@@ -53,200 +68,228 @@ pub fn insert_wire_variables(function: &mut Function, schedule: &mut Schedule) -
         .map(|(i, o)| (o, i))
         .collect();
     let op_blocks = function.op_blocks();
+    // Per-block guard structure, in one walk: the outermost compound node a
+    // block lives under (absent for top-level blocks). Replaces the per-group
+    // `is_guarded` / `outermost_conditional_before` HTG walks.
+    let outermost = outermost_compounds(function);
 
-    // variable -> state -> (writers, readers) among live ops.
-    let mut accesses: BTreeMap<(VarId, usize), (Vec<OpId>, Vec<OpId>)> = BTreeMap::new();
+    // variable -> per-state (writers, readers) among live ops, the inner
+    // lists kept sorted by state. Dense per-variable tables replace the old
+    // `BTreeMap<(VarId, usize), _>`; iteration below is variable-major then
+    // state-ascending, the same order the map gave.
+    type Accesses = (Vec<OpId>, Vec<OpId>);
+    let mut accesses: SecondaryMap<VarId, Vec<(usize, Accesses)>> =
+        SecondaryMap::with_capacity(function.vars.len());
+    fn state_entry(
+        accesses: &mut SecondaryMap<VarId, Vec<(usize, Accesses)>>,
+        var: VarId,
+        state: usize,
+    ) -> &mut Accesses {
+        let entries = accesses.get_or_insert_with(var, Vec::new);
+        let index = match entries.binary_search_by_key(&state, |&(s, _)| s) {
+            Ok(index) => index,
+            Err(index) => {
+                entries.insert(index, (state, Accesses::default()));
+                index
+            }
+        };
+        &mut entries[index].1
+    }
     for &op_id in &order {
         let Some(&state) = schedule.op_state.get(&op_id) else {
             continue;
         };
         let op = &function.ops[op_id];
-        for used in op.uses() {
+        let defined = op.def();
+        for used in op.uses_iter() {
             if !function.vars[used].is_array() {
-                accesses.entry((used, state)).or_default().1.push(op_id);
+                state_entry(&mut accesses, used, state).1.push(op_id);
             }
         }
-        if let Some(defined) = op.def() {
+        if let Some(defined) = defined {
             if !function.vars[defined].is_array() {
-                accesses.entry((defined, state)).or_default().0.push(op_id);
+                state_entry(&mut accesses, defined, state).0.push(op_id);
             }
         }
     }
 
-    for ((var, state), (writers, readers)) in accesses {
-        if writers.is_empty() || readers.is_empty() {
-            continue;
-        }
-        // A reader needs the wire only if some writer precedes it in program
-        // order (otherwise it legitimately reads the register).
-        let first_writer = writers
-            .iter()
-            .copied()
-            .min_by_key(|w| position[w])
-            .expect("non-empty");
-        let chained_readers: Vec<OpId> = readers
-            .iter()
-            .copied()
-            .filter(|r| position[r] > position[&first_writer])
-            .collect();
-        if chained_readers.is_empty() {
-            continue;
-        }
-        if function.vars[var].is_wire() {
-            continue; // already a wire; nothing to do
-        }
-
-        let ty = function.vars[var].ty;
-        let wire_name = format!("w_{}_{}", function.vars[var].name, state);
-        let wire = function.add_var(spark_ir::Var::wire(wire_name, ty));
-        report.wires_created += 1;
-
-        // Figure 7 case: if any relevant writer is conditional, pre-initialise
-        // the wire from the register before the outermost conditional that
-        // contains the first writer.
-        let needs_initializer = writers.iter().any(|&w| {
-            position[&w] >= position[&first_writer] && is_guarded(function, w, &op_blocks)
-        });
-        if needs_initializer {
-            if let Some((region, index)) =
-                outermost_conditional_before(function, first_writer, &op_blocks)
-            {
-                let init_block = function.add_block(format!("winit_{}", function.vars[var].name));
-                let init_op =
-                    function.push_op(init_block, OpKind::Copy, Some(wire), vec![Value::Var(var)]);
-                let node = function.add_block_node(init_block);
-                function.regions[region].nodes.insert(index, node);
-                schedule.record(init_op, state, 0.0, 0.0, 0);
-                report.initializers += 1;
-            }
-        }
-
-        // Rewrite writers: write the wire, commit the register right after.
-        for &writer in &writers {
-            if position[&writer] > position[chained_readers.last().expect("non-empty")] {
-                // A writer after every chained reader does not need rewriting.
+    // Iterate the access table directly (variable-major, state-ascending —
+    // the old `BTreeMap<(VarId, usize), _>` order); the loop mutates only
+    // the function/schedule, never the table.
+    for (var, entries) in accesses.iter() {
+        for &(state, (ref writers, ref readers)) in entries.iter() {
+            if writers.is_empty() || readers.is_empty() {
                 continue;
             }
-            let Some(&block) = op_blocks.get(&writer) else {
-                continue;
-            };
-            function.ops[writer].dest = Some(wire);
-            let commit = function.add_op(OpKind::Copy, Some(var), vec![Value::Var(wire)]);
-            let at = function.blocks[block]
-                .ops
+            // A reader needs the wire only if some writer precedes it in program
+            // order (otherwise it legitimately reads the register).
+            let first_writer = writers
                 .iter()
-                .position(|&o| o == writer)
-                .expect("writer in block");
-            function.blocks[block].insert(at + 1, commit);
-            let finish = schedule.op_finish.get(&writer).copied().unwrap_or(0.0);
-            schedule.record(commit, state, finish, finish, 0);
-            report.producers_rewritten += 1;
-            report.commit_copies += 1;
-        }
+                .copied()
+                .min_by_key(|w| position[w])
+                .expect("non-empty");
+            let chained_readers: Vec<OpId> = readers
+                .iter()
+                .copied()
+                .filter(|r| position[r] > position[&first_writer])
+                .collect();
+            if chained_readers.is_empty() {
+                continue;
+            }
+            if function.vars[var].is_wire() {
+                continue; // already a wire; nothing to do
+            }
 
-        // Redirect chained readers to the wire.
-        for &reader in &chained_readers {
-            for arg in &mut function.ops[reader].args {
-                if *arg == Value::Var(var) {
-                    *arg = Value::Var(wire);
-                    report.readers_redirected += 1;
+            let ty = function.vars[var].ty;
+            let wire_name = format!("w_{}_{}", function.vars[var].name, state);
+            let wire = function.add_var(spark_ir::Var::wire(wire_name, ty));
+            report.wires_created += 1;
+            let mut edit = WireEdit {
+                var,
+                wire,
+                initializer: None,
+                commits: Vec::new(),
+            };
+
+            // Figure 7 case: if any relevant writer is conditional, pre-initialise
+            // the wire from the register before the outermost conditional that
+            // contains the first writer. Guardedness and the outermost compound
+            // come from the per-block table precomputed above; only the
+            // compound's current index in the body is re-derived, because
+            // earlier initializer insertions shift it.
+            let needs_initializer = writers.iter().any(|&w| {
+                position[&w] >= position[&first_writer]
+                    && op_blocks.get(&w).is_some_and(|b| outermost.contains_key(b))
+            });
+            if needs_initializer {
+                if let Some(&conditional) =
+                    op_blocks.get(&first_writer).and_then(|b| outermost.get(b))
+                {
+                    let region = function.body;
+                    let index = function.regions[region]
+                        .nodes
+                        .iter()
+                        .position(|&n| n == conditional)
+                        .expect("outermost compound sits in the body region");
+                    let anchor = first_live_op_under(function, conditional)
+                        .expect("the conditional contains the (live) first writer");
+                    let init_block =
+                        function.add_block(format!("winit_{}", function.vars[var].name));
+                    let init_op = function.push_op(
+                        init_block,
+                        OpKind::Copy,
+                        Some(wire),
+                        vec![Value::Var(var)],
+                    );
+                    let node = function.add_block_node(init_block);
+                    function.regions[region].nodes.insert(index, node);
+                    schedule.record(init_op, state, 0.0, 0.0, 0);
+                    report.initializers += 1;
+                    edit.initializer = Some(WireInit {
+                        op: init_op,
+                        before: anchor,
+                    });
                 }
             }
+
+            // Rewrite writers: write the wire, commit the register right after.
+            for &writer in writers.iter() {
+                if position[&writer] > position[chained_readers.last().expect("non-empty")] {
+                    // A writer after every chained reader does not need rewriting.
+                    continue;
+                }
+                let Some(&block) = op_blocks.get(&writer) else {
+                    continue;
+                };
+                function.ops[writer].dest = Some(wire);
+                let commit = function.add_op(OpKind::Copy, Some(var), vec![Value::Var(wire)]);
+                let at = function.blocks[block]
+                    .ops
+                    .iter()
+                    .position(|&o| o == writer)
+                    .expect("writer in block");
+                function.blocks[block].insert(at + 1, commit);
+                let finish = schedule.op_finish.get(&writer).copied().unwrap_or(0.0);
+                schedule.record(commit, state, finish, finish, 0);
+                report.producers_rewritten += 1;
+                report.commit_copies += 1;
+                edit.commits.push((writer, commit));
+            }
+
+            // Redirect chained readers to the wire.
+            for &reader in &chained_readers {
+                for arg in &mut function.ops[reader].args {
+                    if *arg == Value::Var(var) {
+                        *arg = Value::Var(wire);
+                        report.readers_redirected += 1;
+                    }
+                }
+            }
+            log.edits.push(edit);
         }
     }
-    report
+    (report, log)
 }
 
-/// Returns `true` if the op sits inside at least one `if` branch.
-fn is_guarded(function: &Function, op: OpId, op_blocks: &SecondaryMap<OpId, BlockId>) -> bool {
-    let Some(&block) = op_blocks.get(&op) else {
-        return false;
-    };
-    fn walk(
+/// Maps every basic block nested under a top-level compound node of the body
+/// to that node, in one HTG walk. Top-level blocks are absent: they are
+/// unguarded, and an initializer has nothing to be hoisted in front of.
+/// (A block's chain from the body descends only through compound nodes, so
+/// the outermost compound containing it is always a direct body node.)
+fn outermost_compounds(function: &Function) -> SecondaryMap<BlockId, NodeId> {
+    fn mark(
         function: &Function,
         region: RegionId,
-        target: spark_ir::BlockId,
-        depth: usize,
-    ) -> Option<usize> {
+        root: NodeId,
+        map: &mut SecondaryMap<BlockId, NodeId>,
+    ) {
         for &node in &function.regions[region].nodes {
             match &function.nodes[node] {
-                HtgNode::Block(b) if *b == target => return Some(depth),
-                HtgNode::Block(_) => {}
+                HtgNode::Block(b) => {
+                    map.insert(*b, root);
+                }
                 HtgNode::If(i) => {
-                    if let Some(d) = walk(function, i.then_region, target, depth + 1) {
-                        return Some(d);
-                    }
-                    if let Some(d) = walk(function, i.else_region, target, depth + 1) {
-                        return Some(d);
-                    }
+                    mark(function, i.then_region, root, map);
+                    mark(function, i.else_region, root, map);
                 }
-                HtgNode::Loop(l) => {
-                    if let Some(d) = walk(function, l.body, target, depth + 1) {
-                        return Some(d);
-                    }
-                }
+                HtgNode::Loop(l) => mark(function, l.body, root, map),
             }
         }
-        None
     }
-    walk(function, function.body, block, 0)
-        .map(|d| d > 0)
-        .unwrap_or(false)
+    let mut map = SecondaryMap::with_capacity(function.blocks.len());
+    for &node in &function.regions[function.body].nodes {
+        match &function.nodes[node] {
+            HtgNode::Block(_) => {}
+            HtgNode::If(i) => {
+                mark(function, i.then_region, node, &mut map);
+                mark(function, i.else_region, node, &mut map);
+            }
+            HtgNode::Loop(l) => mark(function, l.body, node, &mut map),
+        }
+    }
+    map
 }
 
-/// Finds the outermost compound node containing `op` and returns its parent
-/// region together with the node's index in it, so an initialiser can be
-/// inserted right before it. Returns `None` for unguarded ops.
-fn outermost_conditional_before(
-    function: &Function,
-    op: OpId,
-    op_blocks: &SecondaryMap<OpId, BlockId>,
-) -> Option<(RegionId, usize)> {
-    let block = *op_blocks.get(&op)?;
-    // Find the chain of nodes from the body down to the block.
-    fn find_chain(
-        function: &Function,
-        region: RegionId,
-        target: spark_ir::BlockId,
-        chain: &mut Vec<(RegionId, usize, NodeId)>,
-    ) -> bool {
-        for (index, &node) in function.regions[region].nodes.iter().enumerate() {
-            match &function.nodes[node] {
-                HtgNode::Block(b) if *b == target => {
-                    chain.push((region, index, node));
-                    return true;
-                }
-                HtgNode::Block(_) => {}
-                HtgNode::If(i) => {
-                    chain.push((region, index, node));
-                    if find_chain(function, i.then_region, target, chain)
-                        || find_chain(function, i.else_region, target, chain)
-                    {
-                        return true;
-                    }
-                    chain.pop();
-                }
-                HtgNode::Loop(l) => {
-                    chain.push((region, index, node));
-                    if find_chain(function, l.body, target, chain) {
-                        return true;
-                    }
-                    chain.pop();
-                }
-            }
-        }
-        false
+/// First live operation, in program (walk) order, under an HTG node — the
+/// anchor an initializer copy is spliced in front of.
+fn first_live_op_under(function: &Function, node: NodeId) -> Option<OpId> {
+    match &function.nodes[node] {
+        HtgNode::Block(b) => function.blocks[*b]
+            .ops
+            .iter()
+            .copied()
+            .find(|&op| !function.ops[op].dead),
+        HtgNode::If(i) => first_live_op_in_region(function, i.then_region)
+            .or_else(|| first_live_op_in_region(function, i.else_region)),
+        HtgNode::Loop(l) => first_live_op_in_region(function, l.body),
     }
-    let mut chain = Vec::new();
-    if !find_chain(function, function.body, block, &mut chain) {
-        return None;
-    }
-    // The first compound node in the chain (if any) is the outermost
-    // conditional containing the op.
-    chain
+}
+
+fn first_live_op_in_region(function: &Function, region: RegionId) -> Option<OpId> {
+    function.regions[region]
+        .nodes
         .iter()
-        .find(|(_, _, node)| function.nodes[*node].is_compound())
-        .map(|&(region, index, _)| (region, index))
+        .find_map(|&node| first_live_op_under(function, node))
 }
 
 #[cfg(test)]

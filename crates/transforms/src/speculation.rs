@@ -73,15 +73,13 @@ fn speculate_region(
     options: SpeculationOptions,
 ) -> usize {
     let mut hoists = 0;
-    // Work on a snapshot of node ids; hoisting inserts new nodes into this
-    // region, so positions are re-resolved every iteration.
-    let mut index = 0;
-    loop {
-        let nodes = function.regions[region].nodes.clone();
-        if index >= nodes.len() {
-            break;
-        }
-        let node = nodes[index];
+    // Work on one snapshot of the node ids: hoisting only inserts block
+    // nodes (which need no visit), and the insertion point is re-resolved by
+    // node id. `inserted` keeps the running shift so the generated block
+    // names match the historical position-with-insertions numbering.
+    let nodes = function.regions[region].nodes.clone();
+    let mut inserted = 0usize;
+    for (snapshot_index, &node) in nodes.iter().enumerate() {
         match function.nodes[node].clone() {
             HtgNode::Block(_) => {}
             HtgNode::Loop(l) => {
@@ -97,31 +95,25 @@ fn speculate_region(
                     hoists += hoist_branch(function, branch, options, &mut spec_ops);
                 }
                 if !spec_ops.is_empty() {
-                    let spec_block = function.add_block(format!("spec_{}", index));
-                    for (kind, new_dest, args, _orig) in &spec_ops {
-                        let op = function.push_op(
-                            spec_block,
-                            kind.clone(),
-                            Some(*new_dest),
-                            args.clone(),
-                        );
+                    let spec_block =
+                        function.add_block(format!("spec_{}", snapshot_index + inserted));
+                    for (kind, new_dest, args, _orig) in spec_ops.drain(..) {
+                        let op = function.push_op(spec_block, kind, Some(new_dest), args);
                         function.ops[op].speculative = true;
                     }
                     let spec_node = function.add_block_node(spec_block);
-                    // Insert before the if node (which is at `index` in the
-                    // *current* node list; recompute its position in case the
-                    // region changed).
+                    // Insert before the if node; its position is re-resolved
+                    // by id because earlier insertions shifted it.
                     let position = function.regions[region]
                         .nodes
                         .iter()
                         .position(|&n| n == node)
-                        .unwrap_or(index);
+                        .expect("if node stays in its region");
                     function.regions[region].nodes.insert(position, spec_node);
-                    index += 1; // account for the inserted speculation block
+                    inserted += 1;
                 }
             }
         }
-        index += 1;
     }
     hoists
 }
@@ -148,12 +140,15 @@ fn hoist_branch(
     for node in nodes {
         match function.nodes[node].clone() {
             HtgNode::Block(block) => {
-                let ops = function.blocks[block].ops.clone();
-                for op_id in ops {
-                    if function.ops[op_id].dead {
+                // Index-based iteration: rewriting an op in place never
+                // changes the block's op list, so no snapshot (and no
+                // per-operation clone) is needed.
+                for position in 0..function.blocks[block].ops.len() {
+                    let op_id = function.blocks[block].ops[position];
+                    let op = &function.ops[op_id];
+                    if op.dead {
                         continue;
                     }
-                    let op = function.ops[op_id].clone();
                     let hoistable = !op.kind.has_side_effects()
                         && op.dest.is_some()
                         && (options.speculate_comparisons || !op.kind.is_comparison())
@@ -170,12 +165,9 @@ fn hoist_branch(
                             OpKind::ArrayRead { array } => !pinned.contains(array),
                             _ => true,
                         };
-                    let dest = op.dest;
                     if hoistable {
-                        let dest = dest.expect("hoistable op has a destination");
-                        let ty = function.vars[dest].ty;
-                        let fresh =
-                            function.fresh_temp(&format!("spec_{}", function.vars[dest].name), ty);
+                        let dest = op.dest.expect("hoistable op has a destination");
+                        let kind = op.kind.clone();
                         // Rewrite operands through the rename map so hoisted
                         // ops read the speculative values of earlier hoisted
                         // definitions in the same branch.
@@ -187,7 +179,10 @@ fn hoist_branch(
                                 c => c,
                             })
                             .collect();
-                        spec_ops.push((op.kind.clone(), fresh, args, dest));
+                        let ty = function.vars[dest].ty;
+                        let fresh =
+                            function.fresh_temp(&format!("spec_{}", function.vars[dest].name), ty);
+                        spec_ops.push((kind, fresh, args, dest));
                         // The original op becomes a commit copy.
                         let op_mut = &mut function.ops[op_id];
                         op_mut.kind = OpKind::Copy;
